@@ -1,0 +1,11 @@
+"""Artifact output helper for the benchmark suite."""
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Write a regenerated table/figure rendering to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+The full evaluation sweep (Table III / Figure 8 / Table VI) is expensive,
+so it is materialised once per session; individual benchmarks then time
+their own aggregation/driver step and assert the paper's shape facts.
+Rendered tables are written to ``benchmarks/output/`` so the regenerated
+artifacts can be inspected and diffed against EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    from repro.experiments.sweep import full_sweep
+
+    return full_sweep("default")
+
+
+@pytest.fixture(scope="session")
+def cost_models_ready():
+    """Ensure all three devices' cost models are trained up front."""
+    from repro.core import get_cost_models
+
+    for device in ("cpu", "a100", "h100"):
+        get_cost_models(device)
+    return True

@@ -1,0 +1,75 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Each ablation removes one ingredient of GRANII and verifies that doing so
+costs coverage, speedup, or decision overhead — evidence that the
+ingredient earns its complexity.
+"""
+
+from _artifacts import save_artifact
+
+from repro.experiments.ablations import (
+    cost_model_ablation,
+    featurizer_ablation,
+    rewrite_ablation,
+    staging_ablation,
+)
+
+
+def test_ablation_broadcast_rewrite(benchmark, cost_models_ready):
+    """Without the Appendix C rewrite, broadcasts stay barriers: far fewer
+    compositions are discoverable and the best achievable one is slower."""
+    result = benchmark.pedantic(rewrite_ablation, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_rewrite",
+        f"candidates with rewrite:    {result.with_rewrite_candidates}\n"
+        f"candidates without rewrite: {result.without_rewrite_candidates}\n"
+        f"best-time gain from rewrite: {result.rewrite_gain:.2f}x",
+    )
+    assert result.with_rewrite_candidates > result.without_rewrite_candidates
+    assert result.rewrite_gain > 1.2  # the SDDMM precompute is unreachable
+
+
+def test_ablation_two_stage(benchmark, cost_models_ready):
+    """Offline pruning keeps the online stage cheap without losing wins;
+    dropping the cost models entirely (offline-only) does lose wins."""
+    result = benchmark.pedantic(staging_ablation, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_two_stage",
+        f"candidates costed (two-stage):   {result.two_stage_candidates_costed}\n"
+        f"candidates costed (online-only): {result.online_only_candidates_costed}\n"
+        f"speedup two-stage:    {result.two_stage_speedup:.3f}x\n"
+        f"speedup online-only:  {result.online_only_speedup:.3f}x\n"
+        f"speedup offline-only: {result.offline_only_speedup:.3f}x",
+    )
+    # pruning shrinks online work by >=4x without hurting the outcome
+    assert result.online_only_candidates_costed >= 4 * result.two_stage_candidates_costed
+    assert result.two_stage_speedup >= 0.98 * result.online_only_speedup
+    # the cost models themselves are load-bearing
+    assert result.two_stage_speedup > result.offline_only_speedup
+
+
+def test_ablation_learned_cost_model(benchmark, cost_models_ready):
+    """An analytic FLOP model misses bandwidth- and atomics-dominated
+    kernels; selection quality collapses (paper §IV-E's motivation)."""
+    result = benchmark.pedantic(cost_model_ablation, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_costmodel",
+        f"selection quality learned:  {result.learned_quality:.3f}\n"
+        f"selection quality analytic: {result.analytic_quality:.3f}",
+    )
+    assert result.learned_quality > 0.95
+    assert result.learned_quality > result.analytic_quality + 0.1
+
+
+def test_ablation_featurizer(benchmark, cost_models_ready):
+    """Zeroing the structural graph features (keeping only call dims)
+    destroys graph-sensitive selections (paper §IV-E1's motivation)."""
+    result = benchmark.pedantic(featurizer_ablation, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_featurizer",
+        f"selection quality full featurizer: {result.full_quality:.3f}\n"
+        f"selection quality without graph features: "
+        f"{result.no_graph_features_quality:.3f}",
+    )
+    assert result.full_quality > 0.95
+    assert result.full_quality > result.no_graph_features_quality + 0.1

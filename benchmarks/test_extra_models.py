@@ -1,0 +1,25 @@
+"""Benchmark: generalizability beyond the paper's five models.
+
+GraphSAGE and APPNP run through exactly the same offline/online pipeline
+with no model-specific tuning; GRANII must still gain over the defaults
+and track the hindsight optimum.
+"""
+
+from _artifacts import save_artifact
+
+from repro.experiments import extra_models
+from repro.experiments.extra_models import EXTRA_MODELS
+
+
+def test_extra_models(benchmark, cost_models_ready):
+    result = benchmark.pedantic(extra_models.run, rounds=1, iterations=1)
+    save_artifact("extra_models", result.render())
+
+    for model in EXTRA_MODELS:
+        for system, device in (("wisegraph", "a100"), ("dgl", "h100"), ("dgl", "cpu")):
+            granii = result.geomean_for(model, system=system, device=device)
+            optimal = result.sweep.geomean_optimal_speedup(
+                model=model, system=system, device=device
+            )
+            assert granii > 1.1, (model, system, device)
+            assert granii >= 0.95 * optimal, (model, system, device)

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 1 (motivation: static < config < all).
+
+The paper's opening claim: inspecting more of the input buys more
+speedup — configuration-based reordering beats a static ordering, and
+full input inspection (GRANII) beats both.
+"""
+
+from _artifacts import save_artifact
+
+from repro.experiments import fig1_motivation
+
+
+def test_fig1(benchmark, cost_models_ready):
+    fig = benchmark.pedantic(
+        fig1_motivation.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    save_artifact("fig1_motivation", fig.render())
+
+    # monotone: static (1.0) <= config <= all on geomean
+    assert fig.geomean_config > 1.0
+    assert fig.geomean_all > fig.geomean_config
+
+    # and 'all' is never materially below 'config' on any single cell
+    worse = [c for c in fig.per_cell if c["all"] < 0.9 * c["config"]]
+    assert len(worse) <= len(fig.per_cell) * 0.05

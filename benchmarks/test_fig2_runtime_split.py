@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 2 (sparse/dense runtime split).
+
+The paper's point: the sparse-vs-dense share of runtime swings with
+graph, embedding sizes AND hardware — so no single factor suffices.
+"""
+
+import numpy as np
+from _artifacts import save_artifact
+
+from repro.experiments import fig2_runtime_split
+
+
+def test_fig2(benchmark):
+    fig = benchmark.pedantic(
+        fig2_runtime_split.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    save_artifact("fig2_runtime_split", fig.render())
+
+    lo, hi = fig.sparse_fraction_range()
+    assert hi - lo > 0.5  # the split swings widely overall
+
+    # each single factor varies the split while the others are held fixed
+    def spread(fixed: dict, varying: str) -> float:
+        rows = [
+            r for r in fig.rows
+            if all(r[k] == v for k, v in fixed.items())
+        ]
+        values = {}
+        for r in rows:
+            values.setdefault(r[varying], []).append(r["sparse_frac"])
+        means = [np.mean(v) for v in values.values()]
+        return max(means) - min(means)
+
+    assert spread({"in": 512, "out": 512, "device": "h100"}, "graph") > 0.2
+    assert spread({"graph": "RD", "device": "h100"}, "in") > 0.1
+    assert spread({"graph": "RD", "in": 512, "out": 512}, "device") > 0.05

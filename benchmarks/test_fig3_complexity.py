@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 3 (composition complexity table)."""
+
+from _artifacts import save_artifact
+
+from repro.experiments import fig3_complexity
+
+
+def test_fig3(benchmark):
+    fig = benchmark.pedantic(fig3_complexity.run, rounds=1, iterations=1)
+    save_artifact("fig3_complexity", fig.render())
+
+    comps = {r.composition for r in fig.rows}
+    assert len(comps) == 6  # 4 GCN + 2 GAT compositions
+
+    # Figure 3's annotations: aggregation O(E·K), broadcasts O(N·K),
+    # the normalization precomputation O(E) and setup-phase
+    assert any(
+        r.primitive == "sddmm_diag" and r.complexity == "O(E)" and r.phase == "setup"
+        for r in fig.rows
+    )
+    spmm = [r for r in fig.rows if r.primitive.startswith("spmm")]
+    assert spmm and all(r.complexity.startswith("O(E") for r in spmm)
+    rb = [r for r in fig.rows if r.primitive == "row_broadcast"]
+    assert rb and all(r.complexity.startswith("O(N") for r in rb)
+
+    # GAT: the recompute composition carries one more gemm than reuse
+    # (note: match on the prefix — "precompute" contains "recompute")
+    gat_comps = [c for c in comps if c.startswith(("reuse", "recompute"))]
+    gemms = {
+        c: sum(1 for r in fig.rows if r.composition == c and r.primitive == "gemm")
+        for c in gat_comps
+    }
+    assert sorted(gemms.values()) == [1, 2]

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 9 (sampling sensitivity, §VI-E).
+
+Shape facts: same-size random neighborhood samples vary little in
+runtime; the preferred GAT composition changes with the sampling size
+(the configs were chosen to show clear changes); GRANII's one decision
+per sampling size matches the majority winner — or misses only when the
+margin between compositions is small.
+"""
+
+from _artifacts import save_artifact
+
+from repro.experiments import fig9_sampling
+from repro.experiments.fig9_sampling import SAMPLE_SIZES
+
+
+def test_fig9(benchmark, cost_models_ready):
+    fig = benchmark.pedantic(
+        fig9_sampling.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    save_artifact("fig9_sampling", fig.render())
+
+    # minimal variation across the 10 random samples of each size
+    for model in ("gcn", "gat"):
+        for size in SAMPLE_SIZES:
+            assert fig.variation_coefficient(model, size) < 0.15
+
+    # the GAT preference flips across sampling sizes
+    assert fig.preference_changes_with_size("gat")
+
+    # GRANII tracks the per-size winner; any miss has a small margin
+    for model in ("gcn", "gat"):
+        if fig.granii_accuracy(model) < 1.0:
+            assert fig.wrong_decision_margin(model) < 0.15

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Table III (the headline geomean-speedup table).
+
+Paper: overall geomean 1.56x (inference) and 1.4x (training); training
+below inference; the largest system/hardware cell is WiseGraph-GCN on the
+A100.  Absolute magnitudes differ on the simulated substrate; the shape
+assertions below are the reproduction targets.
+"""
+
+from _artifacts import save_artifact
+
+from repro.experiments import table3_main
+
+
+def test_table3(benchmark, sweep):
+    table = benchmark.pedantic(
+        table3_main.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    save_artifact("table3_main", table.render())
+
+    # headline: GRANII wins on geomean, training < inference
+    assert table.overall_inference > 1.2
+    assert table.overall_training > 1.15
+    assert table.overall_training < table.overall_inference
+
+    by_key = {(r.system, r.device, r.mode): r for r in table.rows}
+
+    # WiseGraph GCN: A100 must far exceed H100 (binning atomics, §VI-C1)
+    a100 = by_key[("wisegraph", "a100", "inference")].per_model["gcn"]
+    h100 = by_key[("wisegraph", "h100", "inference")].per_model["gcn"]
+    assert a100 > 1.3 * h100
+
+    # DGL: GRANII's wins come from SGC/GIN reordering, GCN stays near 1
+    dgl_h100 = by_key[("dgl", "h100", "inference")].per_model
+    assert dgl_h100["sgc"] > dgl_h100["gcn"]
+    assert dgl_h100["gin"] > dgl_h100["gcn"]
+
+    # GRANII never loses on geomean in any (system, hw, mode) cell
+    assert all(r.overall >= 0.99 for r in table.rows)

@@ -1,0 +1,100 @@
+"""Financial fraud detection with an attention GNN, accelerated by GRANII.
+
+One of the paper's motivating domains (§I): transaction networks are
+power-law graphs where suspicious accounts form dense local structures.
+We synthesise such a graph with planted "fraud-ring" communities, train a
+two-layer GAT to flag the fraudulent accounts, and let GRANII pick the
+attention aggregation composition (reuse vs recompute) per layer.
+
+Run:  python examples/fraud_detection_gat.py
+"""
+
+import os
+
+import numpy as np
+
+import repro
+from repro.graphs import rmat, sbm_communities, train_val_test_masks
+from repro.models import MultiLayerGNN
+from repro.sparse import CSRMatrix
+from repro.tensor import Adam, Tensor, cross_entropy
+from repro.graphs.graph import Graph
+
+
+def build_transaction_graph(seed: int = 7, n: int = 4096) -> Graph:
+    """A power-law transaction graph with dense fraud rings planted."""
+    rng = np.random.default_rng(seed)
+    base = rmat(n, avg_degree=12, seed=seed, name="transactions")
+    n = base.num_nodes
+    labels = np.zeros(n, dtype=np.int64)
+    rows, cols, _ = base.adj.to_coo()
+    extra_src, extra_dst = [], []
+    num_rings = max(3, n // 200)  # fraud rings of ~12 colluding accounts
+    for ring in range(num_rings):
+        members = rng.choice(n, size=12, replace=False)
+        labels[members] = 1
+        iu, ju = np.triu_indices(12, k=1)
+        extra_src.append(members[iu])
+        extra_dst.append(members[ju])
+    src = np.concatenate([rows] + extra_src + extra_dst)
+    dst = np.concatenate([cols] + extra_dst + extra_src)
+    adj = CSRMatrix.from_coo(src, dst, None, (n, n)).unweighted()
+    graph = Graph(adj, name="transactions")
+    graph.labels = labels
+    return graph
+
+
+def account_features(graph: Graph, dim: int, seed: int = 0) -> np.ndarray:
+    """Per-account features: degree statistics plus noisy behaviour."""
+    rng = np.random.default_rng(seed)
+    deg = graph.degrees().astype(np.float64)
+    feats = rng.standard_normal((graph.num_nodes, dim))
+    feats[:, 0] = np.log1p(deg)
+    # fraudulent accounts transact in bursts: a weak planted signal
+    feats[:, 1] += 0.8 * graph.labels
+    return feats
+
+
+def main() -> None:
+    scale = os.environ.get("REPRO_SCALE", "default")
+    graph = build_transaction_graph(n=1024 if scale == "small" else 4096)
+    labels = graph.labels
+    feats = account_features(graph, dim=32)
+    train_mask, val_mask, test_mask = train_val_test_masks(graph.num_nodes, seed=1)
+    print(f"graph: {graph}; fraud rate {labels.mean():.3%}")
+
+    model = MultiLayerGNN("gat", [32, 64, 2], rng=np.random.default_rng(0))
+
+    report = repro.GRANII(
+        model, graph, feats, labels, device="h100", system="dgl", scale=scale
+    )
+    print("GRANII selections:")
+    print(report.describe())
+
+    opt = Adam(model.parameters(), lr=0.01)
+    x = Tensor(feats)
+    for epoch in range(40):
+        opt.zero_grad()
+        logits = model(graph, x)
+        loss = cross_entropy(logits, labels, train_mask)
+        loss.backward()
+        opt.step()
+        if epoch % 10 == 0:
+            pred = np.argmax(logits.data, axis=1)
+            val_acc = (pred[val_mask] == labels[val_mask]).mean()
+            print(f"epoch {epoch:3d}  loss {loss.item():.4f}  val acc {val_acc:.3f}")
+
+    logits = model(graph, x)
+    pred = np.argmax(logits.data, axis=1)
+    test_acc = (pred[test_mask] == labels[test_mask]).mean()
+    fraud_recall = (
+        (pred[test_mask & (labels == 1)] == 1).mean()
+        if (test_mask & (labels == 1)).any()
+        else float("nan")
+    )
+    print(f"\ntest accuracy {test_acc:.3f}, fraud recall {fraud_recall:.3f}")
+    assert test_acc > max(0.85, 1.0 - 2 * labels.mean())  # beats all-clean guessing
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""GRANII reproduction: input-aware selection and ordering of sparse/dense
+matrix primitives in graph neural networks (CGO 2026).
+
+The public entry point mirrors Figure 4 of the paper::
+
+    import repro
+    graph, feats, labels = ...
+    model = repro.models.GCN(in_size, out_size)
+    repro.GRANII(model, graph, feats, labels)   # <- only change
+    out = model(graph, feats)
+
+Subpackages
+-----------
+``repro.sparse``     CSR/COO sparse matrices and structural ops.
+``repro.kernels``    The matrix primitives (GEMM, g-SpMM, g-SDDMM, ...).
+``repro.tensor``     NumPy-backed reverse-mode autograd (training substrate).
+``repro.graphs``     Graph container, generators, dataset stand-ins, sampling.
+``repro.framework``  Message-passing mini-framework and system personalities.
+``repro.models``     GNN zoo: GCN, GIN, SGC, TAGCN, GAT, GraphSAGE.
+``repro.core``       GRANII itself: matrix IR, association-tree enumeration,
+                     pruning, cost models, code generation, runtime.
+``repro.learn``      Gradient-boosted regression trees (XGBoost stand-in).
+``repro.hardware``   Device timing models (cpu / a100 / h100).
+``repro.experiments`` Drivers reproducing every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import core, framework, graphs, hardware, kernels, learn, models, sparse, tensor
+from .granii import GRANII
+
+__all__ = [
+    "GRANII",
+    "__version__",
+    "core",
+    "framework",
+    "graphs",
+    "hardware",
+    "kernels",
+    "learn",
+    "models",
+    "sparse",
+    "tensor",
+]

@@ -1,0 +1,99 @@
+"""GRANII core: matrix IR, enumeration, pruning, cost models, runtime."""
+
+from .assoc import Candidate, Step, enumerate_candidates
+from .bindings import build_binding, model_ir_kwargs, model_ir_name
+from .codegen import (
+    CompiledModel,
+    PlannedCandidate,
+    clear_compile_cache,
+    compile_model,
+    emit_python_source,
+    plan_tags,
+    select_default_plan,
+)
+from .costmodel import (
+    CostModelSet,
+    clear_cost_model_cache,
+    get_cost_models,
+    load_cost_models,
+    save_cost_models,
+    train_cost_models,
+)
+from .features import FEATURE_NAMES, call_features, featurize_graph, num_features
+from .ir import (
+    Add,
+    Attention,
+    Leaf,
+    MatMul,
+    Nonlinear,
+    RowBroadcast,
+    ShapeEnv,
+    dense_data,
+    dense_weight,
+    diagonal,
+    sparse_unweighted,
+    sparse_weighted,
+)
+from .modelir import MODEL_IR_BUILDERS, build_model_ir
+from .plan import EdgeSparse, LayerBinding, Plan
+from .profiler import DEFAULT_SIZES, PROFILED_PRIMITIVES, ProfileDataset, collect_profile
+from .pruning import SCENARIOS, PrunedCandidate, cost_signature, prune_candidates
+from .rewrite import distribute_add, eliminate_row_broadcasts, rewrite_variants
+from .runtime import GraniiEngine, OptimizationReport, SelectionReport
+
+__all__ = [
+    "Add",
+    "Attention",
+    "Candidate",
+    "CompiledModel",
+    "CostModelSet",
+    "DEFAULT_SIZES",
+    "EdgeSparse",
+    "FEATURE_NAMES",
+    "GraniiEngine",
+    "LayerBinding",
+    "Leaf",
+    "MODEL_IR_BUILDERS",
+    "MatMul",
+    "Nonlinear",
+    "OptimizationReport",
+    "PROFILED_PRIMITIVES",
+    "Plan",
+    "PlannedCandidate",
+    "ProfileDataset",
+    "PrunedCandidate",
+    "RowBroadcast",
+    "SCENARIOS",
+    "SelectionReport",
+    "ShapeEnv",
+    "Step",
+    "build_binding",
+    "build_model_ir",
+    "call_features",
+    "clear_compile_cache",
+    "clear_cost_model_cache",
+    "collect_profile",
+    "compile_model",
+    "cost_signature",
+    "dense_data",
+    "dense_weight",
+    "diagonal",
+    "distribute_add",
+    "eliminate_row_broadcasts",
+    "emit_python_source",
+    "enumerate_candidates",
+    "featurize_graph",
+    "get_cost_models",
+    "load_cost_models",
+    "save_cost_models",
+    "model_ir_kwargs",
+    "model_ir_name",
+    "num_features",
+    "plan_tags",
+    "prune_candidates",
+    "rewrite_variants",
+    "select_default_plan",
+    "sparse_unweighted",
+    "sparse_weighted",
+    "train_cost_models",
+]

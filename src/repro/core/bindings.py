@@ -1,0 +1,178 @@
+"""Binding builders: map model layers onto plan leaf values.
+
+A plan's leaves are symbolic names (A, D, Eps, H, W, W0..); executing it
+for a concrete layer requires the runtime values behind those names plus,
+for GAT, the attention sub-program closure.  This module knows each model
+type's mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..framework import MPGraph
+from ..kernels import edge_softmax as k_edge_softmax
+from ..kernels import leaky_relu as k_leaky_relu, norm_diagonal
+from ..models import (
+    APPNPLayer,
+    GATLayer,
+    GCNLayer,
+    GINLayer,
+    SAGELayer,
+    SGCLayer,
+    TAGCNLayer,
+)
+from ..sparse import CSRMatrix, DiagonalMatrix
+from ..tensor import Tensor, gsddmm_add_uv, leaky_relu
+from ..tensor import edge_softmax as t_edge_softmax
+from .plan import EdgeSparse, LayerBinding
+
+__all__ = ["build_binding", "model_ir_name", "model_ir_kwargs"]
+
+
+def model_ir_name(layer) -> str:
+    """The IR-builder name for a layer instance."""
+    mapping = {
+        GCNLayer: "gcn",
+        GINLayer: "gin",
+        SGCLayer: "sgc",
+        TAGCNLayer: "tagcn",
+        GATLayer: "gat",
+        SAGELayer: "sage",
+        APPNPLayer: "appnp",
+    }
+    for cls, name in mapping.items():
+        if isinstance(layer, cls):
+            return name
+    raise TypeError(f"GRANII has no IR builder for {type(layer).__name__}")
+
+
+def model_ir_kwargs(layer) -> Dict[str, object]:
+    """Hyper-parameters that change the layer's IR shape."""
+    name = model_ir_name(layer)
+    if name in ("gcn", "gat", "gin", "sage"):
+        return {"activation": layer.activation}
+    if name in ("sgc", "tagcn", "appnp"):
+        return {"hops": layer.hops}
+    return {}
+
+
+def _weight(value, mode: str):
+    return value if mode == "tensor" else value.data
+
+
+def _gat_fused_attention_fn(layer: GATLayer):
+    """The fused variant: scores → logits → softmax → aggregate, one step."""
+
+    def fused(pattern: CSRMatrix, theta, value, mode: str):
+        if mode == "tensor":
+            theta_t = theta if isinstance(theta, Tensor) else Tensor(theta)
+            value_t = value if isinstance(value, Tensor) else Tensor(value)
+            score_dst = (theta_t @ layer.attn_l.reshape(-1, 1)).reshape(-1)
+            score_src = (theta_t @ layer.attn_r.reshape(-1, 1)).reshape(-1)
+            logits = gsddmm_add_uv(pattern, score_dst, score_src)
+            logits = leaky_relu(logits, layer.negative_slope)
+            alpha = t_edge_softmax(pattern, logits)
+            from ..tensor import spmm_edge
+
+            return spmm_edge(pattern, alpha, value_t)
+        from ..kernels import fused_attention_aggregate
+
+        theta_np = theta.data if isinstance(theta, Tensor) else np.asarray(theta)
+        value_np = value.data if isinstance(value, Tensor) else np.asarray(value)
+        return fused_attention_aggregate(
+            pattern,
+            value_np,
+            theta_np @ layer.attn_l.data,
+            theta_np @ layer.attn_r.data,
+            layer.negative_slope,
+        )
+
+    return fused
+
+
+def _gat_attention_fn(layer: GATLayer):
+    """The attention sub-program (Equation 4) as a plan closure."""
+
+    def attention(pattern: CSRMatrix, theta, mode: str):
+        if mode == "tensor":
+            theta_t = theta if isinstance(theta, Tensor) else Tensor(theta)
+            score_dst = (theta_t @ layer.attn_l.reshape(-1, 1)).reshape(-1)
+            score_src = (theta_t @ layer.attn_r.reshape(-1, 1)).reshape(-1)
+            logits = gsddmm_add_uv(pattern, score_dst, score_src)
+            logits = leaky_relu(logits, layer.negative_slope)
+            return EdgeSparse(pattern, t_edge_softmax(pattern, logits))
+        theta_np = theta.data if isinstance(theta, Tensor) else np.asarray(theta)
+        score_dst = theta_np @ layer.attn_l.data
+        score_src = theta_np @ layer.attn_r.data
+        rows, cols = pattern.row_ids(), pattern.indices
+        logits = k_leaky_relu(
+            score_dst[rows] + score_src[cols], layer.negative_slope
+        )
+        return k_edge_softmax(pattern, logits)
+
+    return attention
+
+
+def _norm_diag(adj: CSRMatrix, power: float) -> DiagonalMatrix:
+    """Degree diagonal; weighted adjacencies use weighted degrees."""
+    if adj.is_weighted:
+        from ..sparse import degree_vector
+
+        return DiagonalMatrix(degree_vector(adj, "out")).power(power)
+    return norm_diagonal(adj, power)
+
+
+def build_binding(layer, g: MPGraph, feat, mode: str) -> LayerBinding:
+    """Runtime leaf values for one (layer, graph, features) triple.
+
+    Weighted adjacencies are preserved for the convolutional models
+    (their plans compile against a weighted A leaf); GAT always operates
+    on the pattern — its attention defines the edge values.
+    """
+    name = model_ir_name(layer)
+    adj = g.adj if g.adj.is_weighted and name != "gat" else g.adj.unweighted()
+    if mode == "tensor" and not isinstance(feat, Tensor):
+        feat = Tensor(feat)
+    if mode == "numpy" and isinstance(feat, Tensor):
+        feat = feat.data
+    values: Dict[str, object] = {"A": adj, "H": feat}
+    if name in ("gcn", "sgc"):
+        values["D"] = _norm_diag(adj, -0.5)
+        values["W"] = _weight(layer.linear.weight, mode)
+        return LayerBinding(values)
+    if name == "tagcn":
+        values["D"] = _norm_diag(adj, -0.5)
+        for i, filt in enumerate(layer.filters):
+            values[f"W{i}"] = _weight(filt.weight, mode)
+        return LayerBinding(values)
+    if name == "gin":
+        values["Eps"] = DiagonalMatrix(
+            np.full(adj.shape[0], 1.0 + layer.eps)
+        )
+        values["W"] = _weight(layer.linear.weight, mode)
+        return LayerBinding(values)
+    if name == "gat":
+        values["W"] = _weight(layer.linear.weight, mode)
+        return LayerBinding(
+            values,
+            attention_fn=_gat_attention_fn(layer),
+            fused_attention_fn=_gat_fused_attention_fn(layer),
+        )
+    if name == "sage":
+        values["Dm"] = _norm_diag(adj, -1.0)
+        values["Wself"] = _weight(layer.self_linear.weight, mode)
+        values["Wneigh"] = _weight(layer.neigh_linear.weight, mode)
+        return LayerBinding(values)
+    if name == "appnp":
+        norm = _norm_diag(adj, -0.5)
+        values["D"] = norm
+        values["Ds"] = DiagonalMatrix((1.0 - layer.alpha) * norm.diag)
+        values["T"] = DiagonalMatrix(
+            np.full(adj.shape[0], layer.alpha)
+        )
+        values["W"] = _weight(layer.linear.weight, mode)
+        return LayerBinding(values)
+    raise TypeError(f"no binding builder for model {name!r}")

@@ -1,0 +1,83 @@
+"""Analytic per-operation complexities (paper Figure 3).
+
+Derives, for each promoted composition of a model, the symbolic
+complexity of every primitive it executes — the same per-operation
+complexity annotations Figure 3 attaches to the GCN and GAT
+compositions (N nodes, E edges, K1/K2 embedding sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .assoc import Step
+from .codegen import CompiledModel, compile_model
+
+__all__ = ["ComplexityRow", "composition_complexities", "step_complexity"]
+
+
+@dataclass(frozen=True)
+class ComplexityRow:
+    composition: str
+    primitive: str
+    complexity: str
+    phase: str  # 'setup' or 'iteration'
+
+
+def _sym(dim) -> str:
+    return str(dim)
+
+
+def step_complexity(step: Step) -> str:
+    """Symbolic big-O of one step (per Figure 3's conventions)."""
+    p = step.primitive
+    descs = step.arg_descs
+    out = step.out_desc
+    if p == "gemm":
+        a, b = descs
+        return f"O({_sym(a.shape[0])}·{_sym(a.shape[1])}·{_sym(b.shape[1])})"
+    if p in ("spmm", "spmm_unweighted"):
+        sp, dn = descs
+        return f"O({_sym(sp.nnz)}·{_sym(dn.shape[1])})"
+    if p in ("sddmm_diag", "spadd_diag"):
+        sp = next(d for d in descs if d.is_sparse_matrix)
+        return f"O({_sym(sp.nnz)})"
+    if p == "diag_mul":
+        return f"O({_sym(out.shape[0])})"
+    if p == "row_broadcast":
+        _, dn = descs
+        return f"O({_sym(dn.shape[0])}·{_sym(dn.shape[1])})"
+    if p == "elementwise":
+        cols = out.shape[1] if out.attr == "dense" else 1
+        return f"O({_sym(out.shape[0])}·{_sym(cols)})"
+    if p == "attention":
+        pattern, theta = descs
+        return f"O({_sym(pattern.nnz)} + {_sym(pattern.shape[0])}·{_sym(theta.shape[1])})"
+    if p == "fused_attn_spmm":
+        pattern, _, value = descs
+        return f"O({_sym(pattern.nnz)}·{_sym(value.shape[1])})"
+    if p == "spgemm":
+        lhs, rhs = descs
+        return f"O({_sym(lhs.nnz)}·{_sym(rhs.nnz)}/N)"
+    raise KeyError(f"no complexity rule for {p!r}")
+
+
+def composition_complexities(model_name: str, **model_kwargs) -> List[ComplexityRow]:
+    """Figure 3-style rows for every promoted composition of a model."""
+    compiled: CompiledModel = compile_model(model_name, **model_kwargs)
+    rows: List[ComplexityRow] = []
+    for planned in compiled.promoted:
+        plan = planned.plan
+        setup_outs = {s.out for s in plan.setup_steps}
+        label = f"{planned.label} [{'/'.join(planned.scenarios)}]"
+        for step in plan.steps:
+            rows.append(
+                ComplexityRow(
+                    composition=label,
+                    primitive=step.primitive,
+                    complexity=step_complexity(step),
+                    phase="setup" if step.out in setup_outs else "iteration",
+                )
+            )
+    return rows

@@ -1,0 +1,181 @@
+"""Learned per-primitive cost models (paper §IV-E2).
+
+One gradient-boosted-tree regressor per (primitive, device), trained on
+profiled log-times.  A plan's predicted cost is the sum of its calls'
+predicted times — with graph-only setup amortised over the iteration
+count — exactly the additive approximation the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware import Device, get_device
+from ..kernels import KernelCall
+from ..learn import GradientBoostedTrees
+from .features import call_features
+from .profiler import ProfileDataset, collect_profile
+
+__all__ = [
+    "CostModelSet",
+    "clear_cost_model_cache",
+    "get_cost_models",
+    "load_cost_models",
+    "save_cost_models",
+    "train_cost_models",
+]
+
+
+class CostModelSet:
+    """Per-primitive regressors for one device."""
+
+    def __init__(self, device_name: str, models: Dict[str, GradientBoostedTrees]) -> None:
+        self.device_name = device_name
+        self._models = models
+        self._memo: Dict[tuple, float] = {}
+
+    @property
+    def primitives(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._models))
+
+    def predict_call(self, call: KernelCall, graph_vec: np.ndarray) -> float:
+        """Predicted execution time (seconds) of one invocation."""
+        model = self._models.get(call.primitive)
+        if model is None:
+            raise KeyError(
+                f"no cost model for primitive {call.primitive!r} on "
+                f"{self.device_name}"
+            )
+        key = (
+            call.primitive,
+            tuple(sorted(call.shape.items())),
+            graph_vec.tobytes(),
+        )
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        feats = call_features(call, graph_vec)
+        result = float(np.exp(model.predict_one(feats)))
+        self._memo[key] = result
+        return result
+
+    def predict_calls(
+        self, calls: Iterable[KernelCall], graph_vec: np.ndarray, efficiency=None
+    ) -> float:
+        """Predicted total time of a call sequence.
+
+        ``efficiency`` optionally maps each call to a system-specific
+        multiplier (the baseline system's kernel efficiency).
+        """
+        total = 0.0
+        for call in calls:
+            t = self.predict_call(call, graph_vec)
+            if efficiency is not None:
+                t *= efficiency(call)
+            total += t
+        return total
+
+
+def train_cost_models(
+    device: Device,
+    dataset: Optional[ProfileDataset] = None,
+    num_rounds: int = 120,
+    max_depth: int = 4,
+    scale: str = "default",
+    seed: int = 0,
+) -> CostModelSet:
+    """Fit one GBT per primitive from profiled data (paper §V)."""
+    if dataset is None:
+        dataset = collect_profile(device, scale=scale)
+    models: Dict[str, GradientBoostedTrees] = {}
+    for primitive in dataset.primitives:
+        x, y = dataset.matrices(primitive)
+        # hold out a validation slice for early stopping, as the paper does
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(x.shape[0])
+        split = max(1, int(0.85 * x.shape[0]))
+        train_idx, val_idx = order[:split], order[split:]
+        model = GradientBoostedTrees(
+            num_rounds=num_rounds,
+            learning_rate=0.12,
+            max_depth=max_depth,
+            min_samples_leaf=3,
+            subsample=0.9,
+            early_stopping_rounds=15 if val_idx.size else None,
+            seed=seed,
+        )
+        eval_set = (x[val_idx], y[val_idx]) if val_idx.size else None
+        model.fit(x[train_idx], y[train_idx], eval_set=eval_set)
+        models[primitive] = model
+    return CostModelSet(device.name, models)
+
+
+def save_cost_models(models: CostModelSet, path) -> None:
+    """Persist a trained CostModelSet to a JSON file.
+
+    This realises the paper's "one-time cost per target system": a
+    production deployment trains once and ships the serialized models.
+    """
+    import json
+    from pathlib import Path
+
+    payload = {
+        "device": models.device_name,
+        "models": {name: m.to_dict() for name, m in models._models.items()},
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_cost_models(path) -> CostModelSet:
+    """Load a CostModelSet saved with :func:`save_cost_models`."""
+    import json
+    from pathlib import Path
+
+    from ..learn import GradientBoostedTrees
+
+    payload = json.loads(Path(path).read_text())
+    models = {
+        name: GradientBoostedTrees.from_dict(data)
+        for name, data in payload["models"].items()
+    }
+    return CostModelSet(payload["device"], models)
+
+
+_COST_MODEL_CACHE: Dict[Tuple[str, str], CostModelSet] = {}
+
+
+def get_cost_models(
+    device_name: str, scale: str = "default", cache_dir=None
+) -> CostModelSet:
+    """Trained cost models for a device, cached per process.
+
+    This is the paper's "one-time cost per target system": the first call
+    profiles the training pool and fits the models; later calls reuse
+    them.  With ``cache_dir``, trained models additionally persist to (and
+    reload from) ``<cache_dir>/costmodels_<device>_<scale>.json`` across
+    processes.
+    """
+    key = (device_name.lower(), scale)
+    if key not in _COST_MODEL_CACHE:
+        disk_path = None
+        if cache_dir is not None:
+            from pathlib import Path
+
+            disk_path = Path(cache_dir) / f"costmodels_{key[0]}_{scale}.json"
+            if disk_path.exists():
+                _COST_MODEL_CACHE[key] = load_cost_models(disk_path)
+                return _COST_MODEL_CACHE[key]
+        _COST_MODEL_CACHE[key] = train_cost_models(
+            get_device(device_name), scale=scale
+        )
+        if disk_path is not None:
+            disk_path.parent.mkdir(parents=True, exist_ok=True)
+            save_cost_models(_COST_MODEL_CACHE[key], disk_path)
+    return _COST_MODEL_CACHE[key]
+
+
+def clear_cost_model_cache() -> None:
+    _COST_MODEL_CACHE.clear()

@@ -1,0 +1,55 @@
+"""The input featurizer (paper §IV-E1).
+
+Builds the feature vector a per-primitive cost model consumes: the
+hand-crafted structural graph features of
+:mod:`repro.graphs.features` concatenated with the (log-scaled)
+dimensions of the primitive invocation.  Feature extraction is O(N+E)
+and runs once per input graph at runtime; its wall-clock cost is part of
+GRANII's reported overhead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..graphs import GRAPH_FEATURE_NAMES, Graph, graph_feature_vector
+from ..hardware import bytes_moved
+from ..kernels import KernelCall
+
+__all__ = ["FEATURE_NAMES", "call_features", "featurize_graph", "num_features"]
+
+_DIM_KEYS = ("m", "k", "n", "nnz")
+
+FEATURE_NAMES: List[str] = (
+    list(GRAPH_FEATURE_NAMES)
+    + [f"log_{key}" for key in _DIM_KEYS]
+    + ["log_flops", "log_bytes"]
+)
+
+
+def num_features() -> int:
+    return len(FEATURE_NAMES)
+
+
+def featurize_graph(graph: Graph) -> np.ndarray:
+    """The graph half of the feature vector (cache this per graph)."""
+    return graph_feature_vector(graph)
+
+
+def call_features(call: KernelCall, graph_vec: np.ndarray) -> np.ndarray:
+    """Full feature vector for one primitive invocation.
+
+    Besides the raw dimensions, the analytic work estimates (operation
+    count and memory traffic) are included: they are the strongest
+    predictors of kernel time and let the tree models interpolate across
+    sizes instead of memorising a dimension grid.
+    """
+    dims = np.array(
+        [np.log1p(float(call.shape.get(key, 0.0))) for key in _DIM_KEYS]
+    )
+    work = np.array(
+        [np.log1p(call.flops), np.log1p(bytes_moved(call))]
+    )
+    return np.concatenate([graph_vec, dims, work])

@@ -1,0 +1,348 @@
+"""Frontend: translate message-passing model code into matrix IR (§IV-B).
+
+The paper's code translation runs a rule-based parser over the Python AST
+of the model's ``forward``: graph operations (``update_all`` with
+``copy_u``/``sum``) map to multiplications with the adjacency leaf,
+row-scalings map to row-broadcasts, weight applications to weight leaves,
+and non-linearities become barriers.  Attribute metadata (sparse /
+diagonal / weight) is attached to the leaves as in Table I.
+
+This module implements that parser for the vocabulary the baseline models
+use.  It is an abstract interpreter: statements are executed over a
+symbolic environment mapping variable names to IR expressions, ``for``
+loops over ``range(self.hops)`` are statically unrolled against the live
+layer instance, and ``self.*`` attribute reads fall back to the real
+object so hyper-parameters (hop counts, ε) resolve to constants.
+
+The direct builders in :mod:`repro.core.modelir` construct the same IR;
+the test suite asserts both paths agree for every model, which is the
+strongest guarantee that the parser's rules are faithful.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Any, Dict, List, Optional
+
+from .ir import (
+    Add,
+    Attention,
+    IRNode,
+    Leaf,
+    MatMul,
+    Nonlinear,
+    RowBroadcast,
+    dense_data,
+    dense_weight,
+    diagonal,
+    flatten,
+    sparse_unweighted,
+)
+
+__all__ = ["parse_forward", "FrontendError"]
+
+
+class FrontendError(ValueError):
+    """Raised when the forward source uses an unsupported construct."""
+
+
+_NONLINEAR_NAMES = {"relu", "elu", "leaky_relu", "sigmoid"}
+
+
+def parse_forward(layer) -> IRNode:
+    """Parse ``type(layer).forward``'s source into matrix IR."""
+    source = textwrap.dedent(inspect.getsource(type(layer).forward))
+    tree = ast.parse(source)
+    func = tree.body[0]
+    if not isinstance(func, ast.FunctionDef):
+        raise FrontendError("expected a function definition")
+    args = [a.arg for a in func.args.args]
+    if len(args) < 3:
+        raise FrontendError("forward must take (self, g, feat)")
+    interpreter = _Interpreter(layer, graph_name=args[1], feat_name=args[2])
+    result = interpreter.run(func.body)
+    if result is None:
+        raise FrontendError("forward never returned an expression")
+    return flatten(result)
+
+
+class _Interpreter:
+    def __init__(self, layer, graph_name: str, feat_name: str) -> None:
+        self.layer = layer
+        self.graph_name = graph_name
+        self.env: Dict[str, Any] = {feat_name: dense_data("H", "N", "K1")}
+        self.env["self"] = _WeightRef(layer, None)
+        self.env[graph_name] = _GraphAttr(self, ())
+        from ..framework import fn as _fn_module
+
+        self.env["fn"] = _fn_module
+        self.ndata: Dict[str, Any] = {}
+        self.adj = sparse_unweighted("A", "N", "N", "E")
+        self.norm = diagonal("D", "N")
+        self.eps_diag = diagonal("Eps", "N")
+        self._pending_message: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    def run(self, body: List[ast.stmt]) -> Optional[IRNode]:
+        for stmt in body:
+            result = self.exec_stmt(stmt)
+            if result is not None:
+                return result
+        return None
+
+    def exec_stmt(self, stmt: ast.stmt) -> Optional[IRNode]:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                raise FrontendError("forward must return an expression")
+            value = self.eval(stmt.value)
+            if not _is_ir(value):
+                raise FrontendError("forward must return a matrix expression")
+            return value
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1:
+                raise FrontendError("only single-target assignments supported")
+            value = self.eval(stmt.value)
+            self.assign(stmt.targets[0], value)
+            return None
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+            return None
+        if isinstance(stmt, ast.For):
+            return self.exec_for(stmt)
+        raise FrontendError(f"unsupported statement {ast.dump(stmt)[:60]}")
+
+    def exec_for(self, stmt: ast.For) -> Optional[IRNode]:
+        if not isinstance(stmt.target, ast.Name):
+            raise FrontendError("loop target must be a simple name")
+        iterable = self.eval(stmt.iter)
+        if not isinstance(iterable, range):
+            raise FrontendError("only range(...) loops can be unrolled")
+        for value in iterable:
+            self.env[stmt.target.id] = value
+            result = self.run(stmt.body)
+            if result is not None:
+                return result
+        return None
+
+    def assign(self, target: ast.expr, value: Any) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+            return
+        raise FrontendError("only simple-name assignment targets supported")
+
+    # ------------------------------------------------------------------
+    def eval(self, node: ast.expr) -> Any:
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            raise FrontendError(f"unknown name {node.id!r}")
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Attribute):
+            return self.eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self.eval_subscript(node)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return self.eval_binop(node)
+        raise FrontendError(f"unsupported expression {ast.dump(node)[:60]}")
+
+    def eval_attribute(self, node: ast.Attribute) -> Any:
+        # `self.x.y` — resolve against the live layer, intercepting weights
+        path = _attribute_path(node)
+        if path is None:
+            base = self.eval(node.value)
+            base_path = base.path if isinstance(base, _WeightRef) else None
+            new_path = f"{base_path}.{node.attr}" if base_path else None
+            return _WeightRef.wrap(getattr(_unwrap(base), node.attr), new_path)
+        if path[0] == "self":
+            obj: Any = self.layer
+            for i, part in enumerate(path[1:], start=1):
+                obj = getattr(obj, part)
+            return _WeightRef.wrap(obj, ".".join(path[1:]))
+        if path[0] == self.graph_name:
+            return _GraphAttr(self, path[1:])
+        base = self.eval(node.value)
+        return _WeightRef.wrap(getattr(_unwrap(base), node.attr), None)
+
+    def eval_subscript(self, node: ast.Subscript) -> Any:
+        base = self.eval(node.value)
+        index = self.eval(node.slice)
+        if isinstance(base, _GraphAttr) and base.path == ("ndata",):
+            return self.ndata[index]
+        if isinstance(base, _WeightRef):
+            item = base.obj[index]
+            name = f"{base.path}[{index}]" if base.path else None
+            return _WeightRef.wrap(item, name)
+        return _unwrap(base)[index]
+
+    def eval_binop(self, node: ast.BinOp) -> Any:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(node.op, ast.MatMult):
+            return flatten(MatMul((self._as_ir(left), self._as_ir(right))))
+        if isinstance(node.op, ast.Add):
+            if _is_ir(left) and _is_ir(right):
+                return flatten(Add((left, right)))
+            return _unwrap(left) + _unwrap(right)
+        if isinstance(node.op, ast.Mult):
+            if _is_ir(left) and isinstance(right, (int, float)):
+                return self._scalar_mult(left, right)
+            if _is_ir(right) and isinstance(left, (int, float)):
+                return self._scalar_mult(right, left)
+            return _unwrap(left) * _unwrap(right)
+        if isinstance(node.op, ast.Sub):
+            return _unwrap(left) - _unwrap(right)
+        raise FrontendError(f"unsupported operator {type(node.op).__name__}")
+
+    def _scalar_mult(self, expr: "IRNode", scalar: float):
+        """Map a scalar multiply onto a known diagonal leaf, or fail.
+
+        The only scalar multiply in the translated vocabulary is GIN's
+        ``(1 + ε)`` self term; mapping any *other* scalar to the Eps leaf
+        would silently build the wrong IR, so unknown scalars raise and
+        the runtime falls back to the model's registered IR builder.
+        """
+        eps = getattr(self.layer, "eps", None)
+        if eps is not None and abs(scalar - (1.0 + eps)) < 1e-12:
+            return RowBroadcast(self.eps_diag, expr)
+        raise FrontendError(
+            f"scalar multiply by {scalar!r} is outside the translated "
+            "vocabulary (only GIN's (1+eps) self term is recognised)"
+        )
+
+    # ------------------------------------------------------------------
+    def eval_call(self, node: ast.Call) -> Any:
+        func = node.func
+        args = [self.eval(a) for a in node.args]
+        # plain-name calls: the functional helper vocabulary
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name == "compute_norm":
+                return self.norm
+            if name == "row_mul":
+                return RowBroadcast(self._as_diag(args[1]), self._as_ir(args[0]))
+            if name == "range":
+                return range(*[_unwrap(a) for a in args])
+            if name == "spmm_edge":
+                alpha, theta = args[1], args[2]
+                return flatten(MatMul((self._as_ir(alpha), self._as_ir(theta))))
+            if name in _NONLINEAR_NAMES:
+                return Nonlinear(name, self._as_ir(args[0]))
+            raise FrontendError(f"unknown function {name!r}")
+        if isinstance(func, ast.Attribute):
+            return self.eval_method(func, node, args)
+        raise FrontendError("unsupported call form")
+
+    def eval_method(self, func: ast.Attribute, node: ast.Call, args: List[Any]) -> Any:
+        method = func.attr
+        path = _attribute_path(func.value)
+        # graph methods -------------------------------------------------
+        if path and path[0] == self.graph_name:
+            if method == "set_ndata":
+                field = args[0]
+                self.ndata[field] = args[1]
+                return None
+            if method == "update_all":
+                return self._update_all(args)
+            if method == "unweighted" and path[1:] == ("adj",):
+                return self.adj
+            raise FrontendError(f"unsupported graph method {method!r}")
+        if path and path[0] == "fn":
+            module = self.env.get("fn")
+            return getattr(module, method)(*[_unwrap(a) for a in args])
+        if isinstance(func.value, ast.Attribute) or isinstance(func.value, ast.Name):
+            base = self.eval(func.value)
+            if isinstance(base, _GraphAttr):
+                if method == "unweighted" and base.path == ("adj",):
+                    return self.adj
+                raise FrontendError(f"unsupported graph attr method {method!r}")
+            if method == "_maybe_activate":
+                if getattr(self.layer, "activation", False):
+                    name = "elu" if type(self.layer).__name__ == "GATLayer" else "relu"
+                    return Nonlinear(name, self._as_ir(args[0]))
+                return args[0]
+            if method == "_attention":
+                theta = self._as_ir(args[1])
+                return Attention(self.adj, theta)
+            if method in _NONLINEAR_NAMES:
+                return Nonlinear(method, self._as_ir(args[0]))
+        raise FrontendError(f"unsupported method call {method!r}")
+
+    def _update_all(self, args: List[Any]) -> None:
+        # g.update_all(fn.copy_u('h', 'm'), fn.sum('m', 'out'))
+        if len(args) != 2:
+            raise FrontendError("update_all takes (message, reduce)")
+        msg, red = args
+        if getattr(msg, "name", None) != "copy_u" or getattr(red, "name", None) != "sum":
+            raise FrontendError(
+                "only copy_u/sum message passing is translated (the models' "
+                "aggregation vocabulary)"
+            )
+        src = self.ndata[msg.src_field]
+        self.ndata[red.out_field] = flatten(MatMul((self.adj, self._as_ir(src))))
+        return None
+
+    # ------------------------------------------------------------------
+    def _as_ir(self, value: Any) -> IRNode:
+        if _is_ir(value):
+            return value
+        if isinstance(value, _WeightRef):
+            return self._weight_leaf(value)
+        raise FrontendError(f"expected a matrix expression, got {value!r}")
+
+    def _as_diag(self, value: Any) -> IRNode:
+        if isinstance(value, Leaf) and value.is_diagonal:
+            return value
+        raise FrontendError("row_mul scale must be a normalization vector")
+
+    def _weight_leaf(self, ref: "_WeightRef") -> Leaf:
+        path = ref.path or ""
+        if path.startswith("filters["):
+            index = path[len("filters["):].split("]")[0]
+            return dense_weight(f"W{index}", "K1", "K2")
+        return dense_weight("W", "K1", "K2")
+
+
+class _GraphAttr:
+    """Marker for `g.<attr>` chains (g.ndata, g.adj, ...)."""
+
+    def __init__(self, interp: _Interpreter, path) -> None:
+        self.interp = interp
+        self.path = tuple(path)
+
+
+class _WeightRef:
+    """A reference into the live layer object, tracked for weight naming."""
+
+    def __init__(self, obj: Any, path: Optional[str]) -> None:
+        self.obj = obj
+        self.path = path
+
+    @classmethod
+    def wrap(cls, obj: Any, path: Optional[str]) -> Any:
+        if isinstance(obj, (int, float, bool, str, range)):
+            return obj
+        return cls(obj, path)
+
+
+def _unwrap(value: Any) -> Any:
+    return value.obj if isinstance(value, _WeightRef) else value
+
+
+def _is_ir(value: Any) -> bool:
+    return isinstance(value, (Leaf, MatMul, Add, RowBroadcast, Nonlinear, Attention))
+
+
+def _attribute_path(node: ast.expr) -> Optional[tuple]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None

@@ -1,0 +1,263 @@
+"""GRANII's matrix intermediate representation (paper §IV-B).
+
+The IR is a tree whose leaves are *matrices with attributes* (Table I) and
+whose interior nodes are matrix operations.  Two properties distinguish it
+from ordinary tensor computation graphs:
+
+1. **Associative operations are n-ary**: adjacent multiplications collapse
+   into one ``MatMul`` level (Figure 6(b)), which is what lets the
+   association-tree generator enumerate *all* re-associations instead of
+   being stuck with the order the user happened to write.
+2. **Leaves carry matrix attributes** — dense (data/weight), sparse
+   (weighted/unweighted/diagonal) — which the rule table uses to decide
+   which sparse/dense primitive realises each association.
+
+Shapes are symbolic: dimensions are strings ("N", "K1", "K2") resolved by
+a :class:`ShapeEnv` at selection time, so one compiled candidate set
+serves every input graph and embedding size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Dim",
+    "ShapeEnv",
+    "Leaf",
+    "MatMul",
+    "Add",
+    "RowBroadcast",
+    "Nonlinear",
+    "Attention",
+    "IRNode",
+    "dense_data",
+    "dense_weight",
+    "sparse_unweighted",
+    "sparse_weighted",
+    "diagonal",
+    "flatten",
+]
+
+Dim = Union[str, int]
+
+
+class ShapeEnv(dict):
+    """Maps symbolic dimension names to concrete integers."""
+
+    def resolve(self, dim: Dim) -> int:
+        if isinstance(dim, int):
+            return dim
+        if dim not in self:
+            raise KeyError(f"unresolved symbolic dimension {dim!r}")
+        return int(self[dim])
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A matrix leaf: name, symbolic shape, and Table I attributes.
+
+    Sparse leaves additionally carry a symbolic nonzero count (``nnz``,
+    e.g. "E") so association candidates can be costed without the input.
+    """
+
+    name: str
+    shape: Tuple[Dim, Dim]
+    attr: str  # 'dense' | 'sparse'
+    subattr: str  # dense: 'data'|'weight'; sparse: 'weighted'|'unweighted'|'diagonal'
+    nnz: Optional[Dim] = None
+
+    def __post_init__(self) -> None:
+        valid = {
+            "dense": {"data", "weight"},
+            "sparse": {"weighted", "unweighted", "diagonal"},
+        }
+        if self.attr not in valid:
+            raise ValueError(f"unknown attr {self.attr!r}")
+        if self.subattr not in valid[self.attr]:
+            raise ValueError(
+                f"sub-attribute {self.subattr!r} invalid for attr {self.attr!r}"
+            )
+        if self.attr == "sparse" and self.nnz is None:
+            # diagonal nnz equals the dimension; other sparse leaves must say.
+            if self.subattr == "diagonal":
+                object.__setattr__(self, "nnz", self.shape[0])
+            else:
+                raise ValueError("non-diagonal sparse leaves need an nnz symbol")
+
+    @property
+    def is_diagonal(self) -> bool:
+        return self.subattr == "diagonal"
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.shape[0]}x{self.shape[1]}:{self.attr}.{self.subattr}]"
+
+
+@dataclass(frozen=True)
+class MatMul:
+    """An n-ary associative matrix-multiplication level."""
+
+    children: Tuple["IRNode", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("MatMul needs at least two children")
+
+
+@dataclass(frozen=True)
+class Add:
+    """An n-ary associative (and commutative) matrix addition."""
+
+    children: Tuple["IRNode", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("Add needs at least two children")
+
+
+@dataclass(frozen=True)
+class RowBroadcast:
+    """Row broadcast ``c[i,j] = d[i] * x[i,j]`` (Equation 1).
+
+    ``vec`` must be a diagonal leaf; the rewrite pass eliminates this node
+    by converting it into a multiplication by the diagonal matrix.
+    """
+
+    vec: "IRNode"
+    mat: "IRNode"
+
+
+@dataclass(frozen=True)
+class Nonlinear:
+    """A non-linear function — a re-association barrier (§IV-B)."""
+
+    name: str  # 'relu' | 'elu' | 'leaky_relu' | ...
+    child: "IRNode"
+
+
+@dataclass(frozen=True)
+class Attention:
+    """GAT's attention computation (Equation 4) as an opaque sub-program.
+
+    Produces a sparse weighted matrix α over ``pattern``'s nonzeros from
+    the updated features ``theta`` (itself an IR expression, normally
+    ``MatMul(H, W)`` — the shared subexpression the reuse composition
+    exploits).
+    """
+
+    pattern: Leaf
+    theta: "IRNode"
+
+
+IRNode = Union[Leaf, MatMul, Add, RowBroadcast, Nonlinear, Attention]
+
+
+# ----------------------------------------------------------------------
+# Leaf constructors
+# ----------------------------------------------------------------------
+def dense_data(name: str, rows: Dim, cols: Dim) -> Leaf:
+    return Leaf(name, (rows, cols), "dense", "data")
+
+
+def dense_weight(name: str, rows: Dim, cols: Dim) -> Leaf:
+    return Leaf(name, (rows, cols), "dense", "weight")
+
+
+def sparse_unweighted(name: str, rows: Dim, cols: Dim, nnz: Dim = "E") -> Leaf:
+    return Leaf(name, (rows, cols), "sparse", "unweighted", nnz)
+
+
+def sparse_weighted(name: str, rows: Dim, cols: Dim, nnz: Dim = "E") -> Leaf:
+    return Leaf(name, (rows, cols), "sparse", "weighted", nnz)
+
+
+def diagonal(name: str, size: Dim) -> Leaf:
+    return Leaf(name, (size, size), "sparse", "diagonal")
+
+
+# ----------------------------------------------------------------------
+# Structural helpers
+# ----------------------------------------------------------------------
+def flatten(node: IRNode) -> IRNode:
+    """Collapse nested associative levels: MatMul-in-MatMul, Add-in-Add."""
+    if isinstance(node, Leaf):
+        return node
+    if isinstance(node, MatMul):
+        children: List[IRNode] = []
+        for child in node.children:
+            child = flatten(child)
+            if isinstance(child, MatMul):
+                children.extend(child.children)
+            else:
+                children.append(child)
+        return MatMul(tuple(children))
+    if isinstance(node, Add):
+        children = []
+        for child in node.children:
+            child = flatten(child)
+            if isinstance(child, Add):
+                children.extend(child.children)
+            else:
+                children.append(child)
+        return Add(tuple(children))
+    if isinstance(node, RowBroadcast):
+        return RowBroadcast(flatten(node.vec), flatten(node.mat))
+    if isinstance(node, Nonlinear):
+        return Nonlinear(node.name, flatten(node.child))
+    if isinstance(node, Attention):
+        return Attention(node.pattern, flatten(node.theta))
+    raise TypeError(f"unknown IR node {node!r}")
+
+
+def ir_shape(node: IRNode) -> Tuple[Dim, Dim]:
+    """Symbolic (rows, cols) of an IR expression."""
+    if isinstance(node, Leaf):
+        return node.shape
+    if isinstance(node, MatMul):
+        return (ir_shape(node.children[0])[0], ir_shape(node.children[-1])[1])
+    if isinstance(node, Add):
+        return ir_shape(node.children[0])
+    if isinstance(node, RowBroadcast):
+        return ir_shape(node.mat)
+    if isinstance(node, Nonlinear):
+        return ir_shape(node.child)
+    if isinstance(node, Attention):
+        return node.pattern.shape
+    raise TypeError(f"unknown IR node {node!r}")
+
+
+def ir_leaves(node: IRNode) -> Iterator[Leaf]:
+    """All leaves in an IR expression (depth-first, with duplicates)."""
+    if isinstance(node, Leaf):
+        yield node
+    elif isinstance(node, (MatMul, Add)):
+        for child in node.children:
+            yield from ir_leaves(child)
+    elif isinstance(node, RowBroadcast):
+        yield from ir_leaves(node.vec)
+        yield from ir_leaves(node.mat)
+    elif isinstance(node, Nonlinear):
+        yield from ir_leaves(node.child)
+    elif isinstance(node, Attention):
+        yield node.pattern
+        yield from ir_leaves(node.theta)
+    else:
+        raise TypeError(f"unknown IR node {node!r}")
+
+
+def ir_repr(node: IRNode) -> str:
+    """Compact textual form, e.g. ``(D . A . D . H . W)``."""
+    if isinstance(node, Leaf):
+        return node.name
+    if isinstance(node, MatMul):
+        return "(" + " . ".join(ir_repr(c) for c in node.children) + ")"
+    if isinstance(node, Add):
+        return "(" + " + ".join(ir_repr(c) for c in node.children) + ")"
+    if isinstance(node, RowBroadcast):
+        return f"rb({ir_repr(node.vec)}, {ir_repr(node.mat)})"
+    if isinstance(node, Nonlinear):
+        return f"{node.name}({ir_repr(node.child)})"
+    if isinstance(node, Attention):
+        return f"atten({node.pattern.name}, {ir_repr(node.theta)})"
+    raise TypeError(f"unknown IR node {node!r}")

@@ -1,0 +1,193 @@
+"""Input-oblivious pruning of association-tree candidates (paper §IV-C).
+
+Pruning happens offline, before the input graph is known, under the two
+embedding-size scenarios the paper identifies:
+
+- ``in_ge_out``: input embedding size ≥ output size (K1 ≥ K2)
+- ``in_lt_out``: input embedding size < output size (K1 < K2)
+
+Within one scenario a candidate is *dominated* when another candidate's
+primitive multiset maps injectively into its own with every mapped
+instance no larger (same primitive, component-wise ≤ dimensions under the
+scenario's K1/K2 ordering), and the domination is strict (extra
+primitives, or at least one strictly smaller instance).  A candidate
+dominated in **both** scenarios can never win and is pruned; survivors
+are annotated with the scenarios where they remain viable, which later
+becomes the embedding-size dispatch condition (§IV-D).
+
+Cost-equivalent duplicates (identical primitive+dimension multisets) are
+collapsed to one representative first — the "removes duplicates" clause
+of the paper's first rule — which also keeps the dominance pass
+quadratic in the number of *distinct* cost signatures rather than raw
+trees (TAGCN enumerates thousands of trees but has far fewer distinct
+cost signatures).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .assoc import Candidate, Step
+
+__all__ = ["SCENARIOS", "PrunedCandidate", "prune_candidates", "cost_signature"]
+
+SCENARIOS = ("in_ge_out", "in_lt_out")
+
+# Symbolic dimension magnitudes per scenario; used only for *ordering*
+# K-dims against each other.  N/E stay symbolic: cross-symbol comparisons
+# other than K1 vs K2 (and E vs E+N) are treated as incomparable.
+_K_ORDER = {
+    "in_ge_out": {"K1": 2, "K2": 1},
+    "in_lt_out": {"K1": 1, "K2": 2},
+}
+
+
+def _dim_leq(a, b, scenario: str) -> Optional[bool]:
+    """Whether dim a ≤ dim b under the scenario; None if incomparable."""
+    if a == b:
+        return True
+    order = _K_ORDER[scenario]
+    if a in order and b in order:
+        return order[a] <= order[b]
+    if isinstance(a, str) and isinstance(b, str):
+        if b == f"{a}+N":
+            return True
+        if a == f"{b}+N":
+            return False
+    if isinstance(a, int) and isinstance(b, int):
+        return a <= b
+    return None
+
+
+@dataclass(frozen=True)
+class _Instance:
+    """One primitive instance with its cost-relevant symbolic dims."""
+
+    primitive: str
+    dims: Tuple
+
+
+def _instances(candidate: Candidate) -> List[_Instance]:
+    out: List[_Instance] = []
+    for step in candidate.ordered_steps():
+        p = step.primitive
+        descs = step.arg_descs
+        od = step.out_desc
+        if p == "gemm":
+            dims = (descs[0].shape[0], descs[0].shape[1], descs[1].shape[1])
+        elif p in ("spmm", "spmm_unweighted"):
+            dims = (descs[0].nnz, descs[1].shape[1])
+        elif p in ("sddmm_diag", "spadd_diag"):
+            dims = (next(d for d in descs if d.is_sparse_matrix).nnz,)
+        elif p == "diag_mul":
+            dims = (od.shape[0],)
+        elif p == "row_broadcast":
+            dims = (descs[1].shape[0], descs[1].shape[1])
+        elif p == "elementwise":
+            cols = od.shape[1] if od.attr == "dense" else 1
+            dims = (od.shape[0], cols)
+            out.extend(_Instance(p, dims) for _ in range(max(0, len(descs) - 2)))
+        elif p == "attention":
+            dims = (descs[0].nnz, descs[1].shape[1])
+        elif p == "fused_attn_spmm":
+            dims = (descs[0].nnz, descs[2].shape[1])
+        elif p == "spgemm":
+            dims = (descs[0].nnz, descs[1].nnz, od.nnz)
+        else:
+            raise KeyError(f"no cost instance rule for {p!r}")
+        out.append(_Instance(p, dims))
+    return out
+
+
+def cost_signature(candidate: Candidate):
+    """Hashable multiset of primitive instances (cost-equivalence key)."""
+    return frozenset(Counter(_instances(candidate)).items())
+
+
+def _instance_leq(a: _Instance, b: _Instance, scenario: str) -> Optional[bool]:
+    """a ≤ b (a no more expensive), None if incomparable; strictness aware."""
+    if a.primitive != b.primitive or len(a.dims) != len(b.dims):
+        return None
+    strict = False
+    for da, db in zip(a.dims, b.dims):
+        cmp = _dim_leq(da, db, scenario)
+        if cmp is None or cmp is False:
+            return None
+        if da != db:
+            strict = True
+    return True  # holds; strictness checked separately via _instance_lt
+
+
+def _instance_lt(a: _Instance, b: _Instance, scenario: str) -> bool:
+    return _instance_leq(a, b, scenario) is True and a.dims != b.dims
+
+
+def _dominates(
+    small: List[_Instance], big: List[_Instance], scenario: str
+) -> bool:
+    """True if `small` maps injectively into `big`, all ≤, strictly overall."""
+    if len(small) > len(big):
+        return False
+
+    used = [False] * len(big)
+    strict_possible = len(small) < len(big)
+
+    def assign(i: int, any_strict: bool) -> bool:
+        if i == len(small):
+            return any_strict or strict_possible
+        for j, b_inst in enumerate(big):
+            if used[j]:
+                continue
+            if _instance_leq(small[i], b_inst, scenario) is True:
+                used[j] = True
+                if assign(i + 1, any_strict or _instance_lt(small[i], b_inst, scenario)):
+                    used[j] = False
+                    return True
+                used[j] = False
+        return False
+
+    return assign(0, False)
+
+
+@dataclass
+class PrunedCandidate:
+    """A promoted candidate annotated with its viable scenarios."""
+
+    candidate: Candidate
+    scenarios: Tuple[str, ...]  # subset of SCENARIOS where not dominated
+
+    @property
+    def needs_cost_model(self) -> bool:
+        """Viable in both scenarios → embedding sizes alone cannot decide."""
+        return len(self.scenarios) == len(SCENARIOS)
+
+
+def prune_candidates(candidates: Sequence[Candidate]) -> List[PrunedCandidate]:
+    """The paper's offline pruning: dedupe, dominate, annotate, promote."""
+    # 1. collapse cost-equivalent duplicates
+    by_sig: Dict[object, Candidate] = {}
+    for cand in sorted(candidates, key=lambda c: (len(c.steps), c.describe())):
+        sig = cost_signature(cand)
+        by_sig.setdefault(sig, cand)
+    distinct = list(by_sig.values())
+    inst = {id(c): _instances(c) for c in distinct}
+
+    # 2. per-scenario domination
+    survivors: List[PrunedCandidate] = []
+    for cand in distinct:
+        viable: List[str] = []
+        for scenario in SCENARIOS:
+            dominated = any(
+                other is not cand
+                and _dominates(inst[id(other)], inst[id(cand)], scenario)
+                for other in distinct
+            )
+            if not dominated:
+                viable.append(scenario)
+        if viable:
+            survivors.append(PrunedCandidate(cand, tuple(viable)))
+    if not survivors:
+        raise RuntimeError("pruning removed every candidate — rule bug")
+    return survivors

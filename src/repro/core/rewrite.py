@@ -1,0 +1,149 @@
+"""IR rewrite passes (paper §IV-B and Appendix C).
+
+``eliminate_row_broadcasts`` is the paper's key rewrite: a row broadcast
+``c[i,j] = d[i]·x[i,j]`` is re-expressed as multiplication by the diagonal
+matrix ``diag(d)``, which merges into the surrounding n-ary MatMul level
+and stops acting as a re-association barrier.  This is what lets GRANII
+*discover* GCN's precomputation composition (Figure 6(c)).
+
+``distribute_add`` generates the variants where a multiplication
+distributes over a leading addition — e.g. GIN's
+``((1+ε)I + A)·H → (1+ε)I·H + A·H`` — so both the precompute-B and the
+dynamic-sum compositions enter the candidate pool.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ir import Add, Attention, IRNode, Leaf, MatMul, Nonlinear, RowBroadcast, flatten
+
+__all__ = ["eliminate_row_broadcasts", "distribute_add", "factor_add", "rewrite_variants"]
+
+
+def eliminate_row_broadcasts(node: IRNode) -> IRNode:
+    """Replace every ``RowBroadcast(d, X)`` with ``MatMul(diag_d, X)``."""
+    if isinstance(node, Leaf):
+        return node
+    if isinstance(node, RowBroadcast):
+        vec = eliminate_row_broadcasts(node.vec)
+        mat = eliminate_row_broadcasts(node.mat)
+        if not (isinstance(vec, Leaf) and vec.is_diagonal):
+            raise ValueError("row-broadcast vector must be a diagonal leaf")
+        return flatten(MatMul((vec, mat)))
+    if isinstance(node, MatMul):
+        return flatten(MatMul(tuple(eliminate_row_broadcasts(c) for c in node.children)))
+    if isinstance(node, Add):
+        return flatten(Add(tuple(eliminate_row_broadcasts(c) for c in node.children)))
+    if isinstance(node, Nonlinear):
+        return Nonlinear(node.name, eliminate_row_broadcasts(node.child))
+    if isinstance(node, Attention):
+        return Attention(node.pattern, eliminate_row_broadcasts(node.theta))
+    raise TypeError(f"unknown IR node {node!r}")
+
+
+def distribute_add(node: IRNode) -> List[IRNode]:
+    """All variants distributing a MatMul over one leading Add child.
+
+    Returns the input itself plus, for every MatMul whose *first* child is
+    an Add, the distributed form.  (GNN additions appear on the aggregation
+    operator side, so distributing the leading position suffices.)
+    """
+    variants = [node]
+    if isinstance(node, MatMul) and isinstance(node.children[0], Add):
+        add = node.children[0]
+        rest = node.children[1:]
+        # distribute over every prefix of the tail: for GIN this yields
+        # both (A·H + Eps·H)·W (DGL's actual execution) and A·H·W + Eps·H·W
+        for j in range(1, len(rest) + 1):
+            add_part = Add(
+                tuple(flatten(MatMul((term,) + rest[:j])) for term in add.children)
+            )
+            if j == len(rest):
+                variants.append(flatten(add_part))
+            else:
+                variants.append(flatten(MatMul((add_part,) + rest[j:])))
+    if isinstance(node, Nonlinear):
+        variants = [Nonlinear(node.name, v) for v in distribute_add(node.child)]
+    return variants
+
+
+def _factors(node: IRNode) -> tuple:
+    """A node's multiplication factor list (itself if not a MatMul)."""
+    if isinstance(node, MatMul):
+        return node.children
+    return (node,)
+
+
+def _factor_one_add(add: Add):
+    """Factor the longest common trailing factor out of an Add, or None."""
+    factor_lists = [_factors(c) for c in add.children]
+    suffix_len = 0
+    while all(len(f) > suffix_len + 1 for f in factor_lists) and all(
+        f[len(f) - suffix_len - 1]
+        == factor_lists[0][len(factor_lists[0]) - suffix_len - 1]
+        for f in factor_lists
+    ):
+        suffix_len += 1
+    if not suffix_len:
+        return None
+    suffix = factor_lists[0][len(factor_lists[0]) - suffix_len:]
+    prefixes = []
+    for f in factor_lists:
+        prefix = f[: len(f) - suffix_len]
+        prefixes.append(prefix[0] if len(prefix) == 1 else MatMul(prefix))
+    return flatten(MatMul((Add(tuple(prefixes)),) + suffix))
+
+
+def factor_add(node: IRNode) -> List[IRNode]:
+    """The inverse rewrite: pull a common trailing factor out of an Add.
+
+    ``(A·H) + (Eps·H)  →  (A + Eps)·H`` — this is how the frontend-parsed
+    (distributed) form of GIN recovers the factored form whose enumeration
+    discovers the precomputed ``B = A + (1+ε)I`` composition.  Factoring
+    applies anywhere an Add appears: at the top level or nested inside a
+    multiplication level.
+    """
+    variants = [node]
+
+    def rewrite(current: IRNode) -> List[IRNode]:
+        out: List[IRNode] = []
+        if isinstance(current, Nonlinear):
+            out.extend(
+                Nonlinear(current.name, v) for v in rewrite(current.child)
+            )
+        elif isinstance(current, Add):
+            factored = _factor_one_add(current)
+            if factored is not None:
+                out.append(factored)
+        elif isinstance(current, MatMul):
+            for i, child in enumerate(current.children):
+                for new_child in rewrite(child):
+                    rebuilt = (
+                        current.children[:i] + (new_child,) + current.children[i + 1:]
+                    )
+                    out.append(flatten(MatMul(rebuilt)))
+        return out
+
+    variants.extend(rewrite(node))
+    return variants
+
+
+def rewrite_variants(node: IRNode) -> List[IRNode]:
+    """The full rewrite pipeline: broadcast elimination, then the closure
+    of distribution and common-factor extraction.
+
+    Returns deduplicated IR variants; each is enumerated independently and
+    the resulting association trees are merged into one candidate pool.
+    """
+    base = eliminate_row_broadcasts(flatten(node))
+    seen = {repr(base): base}
+    frontier = [base]
+    while frontier:
+        current = frontier.pop()
+        for produced in distribute_add(current) + factor_add(current):
+            key = repr(produced)
+            if key not in seen:
+                seen[key] = produced
+                frontier.append(produced)
+    return list(seen.values())

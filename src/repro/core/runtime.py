@@ -1,0 +1,271 @@
+"""GRANII's online runtime: featurize, predict, select, attach (paper §IV).
+
+The engine wires the offline artifacts (compiled candidate sets, trained
+cost models) to a concrete (model, graph, embedding sizes) instance:
+
+1. resolve the embedding-size scenario and keep only viable candidates
+   (the cheap Figure-7 conditions);
+2. if more than one candidate remains, featurize the input graph once and
+   sum per-primitive cost-model predictions for each candidate, with
+   graph-only setup amortised over the expected iteration count;
+3. lower the winner to an executor and attach it to the model.
+
+Both decision overheads (feature extraction, selection) are measured and
+reported, mirroring the paper's overhead accounting (§VI-C1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..framework import MPGraph, get_system
+from ..graphs import Graph
+from ..hardware import get_device
+from ..tensor import Tensor
+from .bindings import build_binding, model_ir_kwargs, model_ir_name
+from .codegen import CompiledModel, PlannedCandidate, compile_model
+from .costmodel import CostModelSet, get_cost_models
+from .features import featurize_graph
+from .ir import ShapeEnv
+from .plan import Plan
+
+__all__ = ["SelectionReport", "OptimizationReport", "GraniiEngine"]
+
+
+@dataclass
+class SelectionReport:
+    """What the online stage decided for one layer."""
+
+    model_name: str
+    chosen: PlannedCandidate
+    scenario: str
+    predicted_costs: Dict[str, float]  # plan label -> predicted seconds/run
+    viable_count: int
+    feature_seconds: float
+    selection_seconds: float
+    peak_memory_bytes: float = 0.0
+    memory_filtered_count: int = 0  # plans dropped for exceeding the limit
+
+    @property
+    def label(self) -> str:
+        return self.chosen.label
+
+
+@dataclass
+class OptimizationReport:
+    """Per-layer selections plus total decision overhead."""
+
+    selections: List[SelectionReport] = field(default_factory=list)
+
+    @property
+    def total_overhead_seconds(self) -> float:
+        return sum(s.feature_seconds + s.selection_seconds for s in self.selections)
+
+    def describe(self) -> str:
+        lines = []
+        for i, sel in enumerate(self.selections):
+            lines.append(
+                f"layer {i}: {sel.model_name} -> {sel.label} "
+                f"(scenario={sel.scenario}, candidates={sel.viable_count}, "
+                f"overhead={1e3 * (sel.feature_seconds + sel.selection_seconds):.2f} ms)"
+            )
+        return "\n".join(lines)
+
+
+class GraniiEngine:
+    """The compiler + runtime pair of Figure 5."""
+
+    def __init__(
+        self,
+        device: str = "h100",
+        system: str = "dgl",
+        iterations: int = 100,
+        mode: str = "inference",
+        scale: str = "default",
+        cost_models: Optional[CostModelSet] = None,
+        memory_limit_bytes: Optional[float] = None,
+    ) -> None:
+        if mode not in ("inference", "training"):
+            raise ValueError("mode must be 'inference' or 'training'")
+        self.device = get_device(device)
+        self.system = get_system(system)
+        self.iterations = int(iterations)
+        self.mode = mode
+        self.scale = scale
+        self.memory_limit_bytes = memory_limit_bytes
+        self._cost_models = cost_models
+        self._graph_vec_cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def cost_models(self) -> CostModelSet:
+        if self._cost_models is None:
+            self._cost_models = get_cost_models(self.device.name, scale=self.scale)
+        return self._cost_models
+
+    _WEIGHTED_IR_MODELS = frozenset({"gcn", "sgc", "tagcn", "gin"})
+
+    def compile_for(self, layer, graph: Optional[Graph] = None) -> CompiledModel:
+        """Offline stage for this layer's model type (cached globally).
+
+        The frontend parses the layer's message-passing ``forward`` source
+        into matrix IR (paper §IV-B); models outside the translated
+        vocabulary fall back to the registered direct IR builder.
+
+        When the input graph carries edge weights, convolutional models
+        compile with a *weighted* adjacency leaf, which removes the
+        pattern-only aggregation fast path from the candidate pool
+        (Appendix B applies to unweighted graphs only).  Attention models
+        define their own edge values and ignore input weights.
+        """
+        name = model_ir_name(layer)
+        kwargs = dict(model_ir_kwargs(layer))
+        weighted = bool(
+            graph is not None
+            and graph.adj.is_weighted
+            and name in self._WEIGHTED_IR_MODELS
+        )
+        if weighted:
+            # the translated source vocabulary models unweighted
+            # aggregation; weighted inputs compile via the IR builder
+            return compile_model(name, weighted=True, **kwargs)
+        from .frontend import FrontendError, parse_forward
+
+        try:
+            ir = parse_forward(layer)
+        except FrontendError:
+            ir = None
+        return compile_model(name, ir=ir, **kwargs)
+
+    def shape_env(self, graph: Graph, layer) -> ShapeEnv:
+        wants_loops = getattr(layer, "wants_self_loops", True)
+        adj = graph.adj_with_self_loops() if wants_loops else graph.adj
+        env = ShapeEnv()
+        env["N"] = graph.num_nodes
+        env["E"] = adj.nnz
+        env["K1"] = layer.in_size
+        env["K2"] = layer.out_size
+        # estimated nonzeros of adjacency powers, for SpGEMM-extension
+        # candidates (compile_model(..., spgemm=True)); "E@k" is the
+        # symbolic nnz of a depth-k sparse product
+        from ..kernels import spgemm_output_nnz_estimate
+
+        current = adj.nnz
+        for depth in range(2, 7):
+            current = spgemm_output_nnz_estimate(graph.num_nodes, current, adj.nnz)
+            env[f"E@{depth}"] = current
+        return env
+
+    # ------------------------------------------------------------------
+    def predict_plan_cost(
+        self,
+        plan: Plan,
+        env: ShapeEnv,
+        graph_vec: np.ndarray,
+    ) -> float:
+        """Cost-model estimate of one amortised iteration of this plan."""
+        setup, per_iter = plan.kernel_calls(env, self.system.degree_method)
+        eff = self.system.efficiency
+        total = self.cost_models.predict_calls(per_iter, graph_vec, eff)
+        if self.mode == "training":
+            total += self.cost_models.predict_calls(
+                plan.backward_calls(env), graph_vec, eff
+            )
+        total += self.cost_models.predict_calls(setup, graph_vec, eff) / max(
+            self.iterations, 1
+        )
+        return total
+
+    def select(
+        self, compiled: CompiledModel, graph: Graph, layer
+    ) -> SelectionReport:
+        """Online stage: pick the cheapest viable composition (Figure 7)."""
+        env = self.shape_env(graph, layer)
+        scenario = "in_ge_out" if env["K1"] >= env["K2"] else "in_lt_out"
+        viable = compiled.viable(env["K1"], env["K2"])
+        if not viable:  # pragma: no cover - pruning guarantees at least one
+            raise RuntimeError("no viable composition")
+        memory_filtered = 0
+        if self.memory_limit_bytes is not None:
+            fitting = [
+                p for p in viable
+                if p.plan.peak_memory_bytes(env) <= self.memory_limit_bytes
+            ]
+            memory_filtered = len(viable) - len(fitting)
+            if fitting:
+                viable = fitting
+            else:
+                # nothing fits: degrade gracefully to the leanest plan
+                # rather than refusing to run (the baseline would OOM too)
+                viable = [
+                    min(viable, key=lambda p: p.plan.peak_memory_bytes(env))
+                ]
+        if len(viable) > 1:
+            # cost-model training is a one-time offline cost (paper §V);
+            # force it here so it never pollutes the measured online overhead
+            _ = self.cost_models
+        t0 = time.perf_counter()
+        key = id(graph)
+        if key in self._graph_vec_cache:
+            graph_vec = self._graph_vec_cache[key]
+            feature_seconds = 0.0
+        else:
+            graph_vec = featurize_graph(graph)
+            self._graph_vec_cache[key] = graph_vec
+            feature_seconds = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        predicted: Dict[str, float] = {}
+        if len(viable) == 1:
+            chosen = viable[0]
+        else:
+            costs = [
+                self.predict_plan_cost(p.plan, env, graph_vec) for p in viable
+            ]
+            for p, c in zip(viable, costs):
+                predicted[f"{p.label}#{p.plan.name}"] = c
+            chosen = viable[int(np.argmin(costs))]
+        selection_seconds = time.perf_counter() - t1
+        return SelectionReport(
+            model_name=compiled.model_name,
+            chosen=chosen,
+            scenario=scenario,
+            predicted_costs=predicted,
+            viable_count=len(viable),
+            feature_seconds=feature_seconds,
+            selection_seconds=selection_seconds,
+            peak_memory_bytes=chosen.plan.peak_memory_bytes(env),
+            memory_filtered_count=memory_filtered,
+        )
+
+    # ------------------------------------------------------------------
+    def make_executor(self, layer, planned: PlannedCandidate):
+        """Wrap the chosen plan as a drop-in replacement for layer.forward."""
+        plan = planned.plan
+        setup_caches: Dict[Tuple[int, str], Dict[str, object]] = {}
+
+        def executor(g: MPGraph, feat, *args, **kwargs):
+            mode = "tensor" if isinstance(feat, Tensor) else "numpy"
+            binding = build_binding(layer, g, feat, mode)
+            cache = setup_caches.setdefault((id(g), mode), {})
+            return plan.execute(binding, mode=mode, setup_cache=cache)
+
+        return executor
+
+    def optimize(self, model, graph: Graph, feats=None, labels=None) -> OptimizationReport:
+        """The GRANII(...) call of Figure 4: select and attach per layer.
+
+        Containers (multi-layer stacks, multi-head attention) expose their
+        independently-optimisable sub-layers through ``granii_layers()``.
+        """
+        report = OptimizationReport()
+        layers = model.granii_layers() if hasattr(model, "granii_layers") else [model]
+        for layer in layers:
+            compiled = self.compile_for(layer, graph)
+            selection = self.select(compiled, graph, layer)
+            layer.attach_executor(self.make_executor(layer, selection.chosen))
+            report.selections.append(selection)
+        return report

@@ -1,0 +1,93 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+==================  ==========================================
+Paper artifact      Driver module
+==================  ==========================================
+Figure 1            ``fig1_motivation``
+Figure 2            ``fig2_runtime_split``
+Figure 3            ``fig3_complexity``
+Table III           ``table3_main``
+Figure 8            ``fig8_per_graph``
+Table IV            ``table4_end_to_end``
+Figure 9            ``fig9_sampling``
+Table V             ``table5_layers``
+Table VI            ``table6_oracles``
+§VI-B counts        ``enumeration_stats``
+§VI-C1 overheads    ``overheads``
+==================  ==========================================
+
+Every driver exposes ``run(...)`` returning a result object with a
+``render()`` method; benchmarks wrap the same entry points.
+"""
+
+from . import (
+    ablations,
+    changing_sparsity,
+    enumeration_stats,
+    extra_models,
+    fig1_motivation,
+    fig2_runtime_split,
+    fig3_complexity,
+    fig8_per_graph,
+    fig9_sampling,
+    fusion,
+    overheads,
+    spgemm_study,
+    table3_main,
+    table4_end_to_end,
+    table5_layers,
+    table6_oracles,
+    validation_real,
+)
+from .common import (
+    EMBEDDING_PAIRS,
+    GAT_EMBEDDING_PAIRS,
+    Workload,
+    WorkloadResult,
+    embedding_pairs_for,
+    evaluate_workload,
+    geomean,
+    measured_plan_time,
+    overhead_seconds,
+)
+from .multilayer import MultiLayerTiming, evaluate_multilayer
+from .report import format_speedup, render_table
+from .sweep import SYSTEM_DEVICE_GRID, SweepResult, full_sweep, run_sweep, sweep_workloads
+
+__all__ = [
+    "EMBEDDING_PAIRS",
+    "ablations",
+    "changing_sparsity",
+    "extra_models",
+    "fusion",
+    "spgemm_study",
+    "validation_real",
+    "GAT_EMBEDDING_PAIRS",
+    "MultiLayerTiming",
+    "SYSTEM_DEVICE_GRID",
+    "SweepResult",
+    "Workload",
+    "WorkloadResult",
+    "embedding_pairs_for",
+    "enumeration_stats",
+    "evaluate_multilayer",
+    "evaluate_workload",
+    "fig1_motivation",
+    "fig2_runtime_split",
+    "fig3_complexity",
+    "fig8_per_graph",
+    "fig9_sampling",
+    "format_speedup",
+    "full_sweep",
+    "geomean",
+    "measured_plan_time",
+    "overhead_seconds",
+    "overheads",
+    "render_table",
+    "run_sweep",
+    "sweep_workloads",
+    "table3_main",
+    "table4_end_to_end",
+    "table5_layers",
+    "table6_oracles",
+]

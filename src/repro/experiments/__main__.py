@@ -1,0 +1,120 @@
+"""Command-line runner for the experiment drivers.
+
+Usage::
+
+    python -m repro.experiments table3            # one artifact
+    python -m repro.experiments fig9 --scale small
+    python -m repro.experiments all               # everything (slow)
+    python -m repro.experiments list
+
+Each artifact prints its rendered table; ``--output DIR`` also writes it
+to ``DIR/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import (
+    changing_sparsity,
+    enumeration_stats,
+    extra_models,
+    fig1_motivation,
+    fig2_runtime_split,
+    fig3_complexity,
+    fig8_per_graph,
+    fig9_sampling,
+    fusion,
+    overheads,
+    spgemm_study,
+    table3_main,
+    table4_end_to_end,
+    table5_layers,
+    table6_oracles,
+    validation_real,
+)
+
+_SCALED = {"scale"}
+
+ARTIFACTS = {
+    "fig1": ("Figure 1: static vs config vs all", fig1_motivation.run, True),
+    "fig2": ("Figure 2: sparse/dense runtime split", fig2_runtime_split.run, True),
+    "fig3": ("Figure 3: composition complexities", fig3_complexity.run, False),
+    "table3": ("Table III: geomean speedups", table3_main.run, True),
+    "fig8": ("Figure 8: per-graph detail", fig8_per_graph.run, True),
+    "table4": ("Table IV: end-to-end times", table4_end_to_end.run, True),
+    "fig9": ("Figure 9: sampling sensitivity", fig9_sampling.run, True),
+    "table5": ("Table V: multiple layers", table5_layers.run, True),
+    "table6": ("Table VI: oracles", table6_oracles.run, True),
+    "enumstats": ("Enumeration & pruning statistics", enumeration_stats.run, False),
+    "overheads": ("Decision overheads", overheads.run, True),
+    "realvalid": ("Real-execution validation (measured kernels)", validation_real.run, False),
+    "sparsity": ("Changing sparsity across layers (coarsening)", changing_sparsity.run, True),
+    "fusion": ("Kernel fusion composed into GRANII (GAT)", fusion.run, True),
+    "extramodels": ("Beyond-paper models (GraphSAGE, APPNP)", extra_models.run, True),
+    "spgemm": ("SpGEMM extension: materialising propagation powers", spgemm_study.run, True),
+}
+
+
+def _render(name: str, result) -> str:
+    if name == "fig8":
+        return "\n\n".join(
+            result.render(system=s, device=d, mode="inference")
+            for s, d in (("wisegraph", "a100"), ("dgl", "h100"))
+        )
+    return result.render()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        help="artifact name, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=("small", "default"),
+        help="graph scale (small is fast, default matches EXPERIMENTS.md)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write rendered artifacts to this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.artifact == "list":
+        for key, (title, _, _) in ARTIFACTS.items():
+            print(f"{key:10s} {title}")
+        return 0
+
+    names = list(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        parser.error(
+            f"unknown artifact(s) {unknown}; run 'list' to see choices"
+        )
+    for name in names:
+        title, runner, takes_scale = ARTIFACTS[name]
+        print(f"== {title} ==")
+        start = time.perf_counter()
+        result = runner(scale=args.scale) if takes_scale else runner()
+        text = _render(name, result)
+        print(text)
+        print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
+        if args.output is not None:
+            args.output.mkdir(parents=True, exist_ok=True)
+            (args.output / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

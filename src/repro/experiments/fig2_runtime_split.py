@@ -1,0 +1,77 @@
+"""Figure 2: percentage of runtime in sparse vs dense primitives.
+
+For GCN's default composition, the sparse/dense runtime split across
+graphs, (in, out) embedding sizes, and hardware — the paper's evidence
+that no single factor predicts where time goes, motivating learned cost
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core import compile_model, select_default_plan
+from ..framework import get_system
+from ..graphs import EVALUATION_CODES
+from ..hardware import DEVICE_NAMES, get_device
+from .common import _graph_artifacts, shape_env_for
+from .report import render_table
+
+__all__ = ["Figure2", "run"]
+
+
+@dataclass
+class Figure2:
+    rows: List[Dict]
+
+    def render(self) -> str:
+        body = [
+            [r["graph"], f"({r['in']},{r['out']})", r["device"],
+             f"{100 * r['sparse_frac']:.0f}%", f"{100 * (1 - r['sparse_frac']):.0f}%"]
+            for r in self.rows
+        ]
+        return render_table(
+            ["Graph", "(in,out)", "HW", "sparse", "dense"],
+            body,
+            title="Figure 2: runtime split of GCN's default composition",
+        )
+
+    def sparse_fraction_range(self) -> Tuple[float, float]:
+        fracs = [r["sparse_frac"] for r in self.rows]
+        return min(fracs), max(fracs)
+
+
+def run(
+    scale: str = "default",
+    pairs: Tuple[Tuple[int, int], ...] = ((32, 32), (512, 512), (2048, 256)),
+    system: str = "dgl",
+) -> Figure2:
+    compiled = compile_model("gcn")
+    sys_ = get_system(system)
+    rows: List[Dict] = []
+    for code in EVALUATION_CODES:
+        graph, stats, _ = _graph_artifacts(code, scale)
+        for k1, k2 in pairs:
+            env = shape_env_for(graph, "gcn", k1, k2)
+            default = select_default_plan(compiled, sys_, k1, k2)
+            setup, per_iter = default.plan.kernel_calls(env, sys_.degree_method)
+            for device_name in DEVICE_NAMES:
+                device = get_device(device_name)
+                sparse_t = dense_t = 0.0
+                for call in per_iter:
+                    t = device.time_call(call, stats) * sys_.efficiency(call)
+                    if call.kind == "sparse":
+                        sparse_t += t
+                    else:
+                        dense_t += t
+                rows.append(
+                    {
+                        "graph": code,
+                        "in": k1,
+                        "out": k2,
+                        "device": device_name,
+                        "sparse_frac": sparse_t / (sparse_t + dense_t),
+                    }
+                )
+    return Figure2(rows)

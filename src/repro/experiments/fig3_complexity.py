@@ -1,0 +1,38 @@
+"""Figure 3: compositions of GCN and GAT with per-operation complexities.
+
+Regenerates the paper's complexity annotations from the promoted plans
+themselves (rather than hand-writing them), so the table is guaranteed to
+describe exactly what the system executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.complexity import ComplexityRow, composition_complexities
+from .report import render_table
+
+__all__ = ["Figure3", "run"]
+
+
+@dataclass
+class Figure3:
+    rows: List[ComplexityRow]
+
+    def render(self) -> str:
+        body = [
+            [r.composition, r.primitive, r.complexity, r.phase] for r in self.rows
+        ]
+        return render_table(
+            ["Composition", "Primitive", "Complexity", "Phase"],
+            body,
+            title="Figure 3: GCN & GAT compositions with per-op complexities",
+        )
+
+
+def run() -> Figure3:
+    rows = [
+        r for model in ("gcn", "gat") for r in composition_complexities(model)
+    ]
+    return Figure3(rows)

@@ -1,0 +1,85 @@
+"""Figure 8: per-graph, per-configuration speedup detail.
+
+The full grid behind Table III — one speedup per (system, device, mode,
+model, graph, embedding pair).  The paper plots these as line charts;
+here they are emitted as rows (and summarised per graph), preserving the
+information content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..graphs import EVALUATION_CODES
+from ..models import MODEL_NAMES
+from .common import geomean
+from .report import format_speedup, render_table
+from .sweep import SweepResult, full_sweep
+
+__all__ = ["Figure8", "run"]
+
+
+@dataclass
+class Figure8:
+    sweep: SweepResult
+
+    def rows(self, **attrs) -> List[Dict]:
+        return [
+            {
+                "model": r.workload.model,
+                "graph": r.workload.graph_code,
+                "in": r.workload.in_size,
+                "out": r.workload.out_size,
+                "system": r.workload.system,
+                "device": r.workload.device,
+                "mode": r.workload.mode,
+                "speedup": r.speedup,
+                "default": r.default_label,
+                "granii": r.granii_label,
+            }
+            for r in self.sweep.filtered(**attrs)
+        ]
+
+    def per_graph_geomeans(self, mode: str = "inference") -> Dict[str, float]:
+        return {
+            code: geomean(
+                [r.speedup for r in self.sweep.filtered(graph_code=code, mode=mode)]
+            )
+            for code in EVALUATION_CODES
+        }
+
+    def render(self, system: str = "dgl", device: str = "h100", mode: str = "inference") -> str:
+        from .common import embedding_pairs_for
+
+        blocks = []
+        for model in MODEL_NAMES:
+            pairs = embedding_pairs_for(model)
+            headers = ["Graph"] + [f"({a},{b})" for a, b in pairs]
+            body = []
+            for code in EVALUATION_CODES:
+                cells = {
+                    (r.workload.in_size, r.workload.out_size): r
+                    for r in self.sweep.filtered(
+                        model=model, graph_code=code, system=system,
+                        device=device, mode=mode,
+                    )
+                }
+                body.append(
+                    [code]
+                    + [
+                        format_speedup(cells[p].speedup) if p in cells else "-"
+                        for p in pairs
+                    ]
+                )
+            blocks.append(
+                render_table(
+                    headers, body,
+                    title=f"Figure 8 — {model.upper()} ({system}/{device}/{mode})",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(scale: str = "default") -> Figure8:
+    return Figure8(full_sweep(scale))

@@ -1,0 +1,146 @@
+"""Figure 9: sensitivity of GRANII's decision to neighborhood sampling.
+
+Reproduces §VI-E: both discovered compositions of GCN (32, 256) and GAT
+(1024, 2048) are timed on 10 random *neighborhood* samples per sampling
+size (fanouts 1000 / 100 / 10) of the dense MC graph on H100/DGL.
+
+Findings to reproduce:
+
+1. runtime variation across same-size random samples is minimal, so one
+   GRANII call per sampling size suffices (no per-sample re-inspection);
+2. the preferred composition *changes* with the sampling size (the
+   embedding sizes were chosen in the paper to "show clear changes");
+3. GRANII's cost models, applied to one representative sample, pick the
+   per-size majority winner — and when they miss, the margin between the
+   compositions is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core import compile_model
+from ..core.features import featurize_graph
+from ..framework import get_system
+from ..graphs import load, sample_fanout
+from ..hardware import GraphStats, get_device
+from .common import Workload, _engine_for, measured_plan_time, shape_env_for
+from .report import render_table
+
+__all__ = ["Figure9", "run", "SAMPLE_SIZES"]
+
+SAMPLE_SIZES = (1000, 100, 10)
+
+
+@dataclass
+class Figure9:
+    rows: List[Dict]  # one per (model, size, sample)
+    granii_choice: Dict[Tuple[str, int], str]  # (model, size) -> 'A'|'B'
+
+    def render(self) -> str:
+        body = []
+        for r in self.rows:
+            body.append(
+                [r["model"].upper(), r["size"], r["sample"],
+                 f"{1e6 * r['time_a']:.1f}", f"{1e6 * r['time_b']:.1f}",
+                 r["winner"],
+                 self.granii_choice[(r["model"], r["size"])]]
+            )
+        return render_table(
+            ["Model", "Fanout", "Sample", "comp A (us)", "comp B (us)",
+             "winner", "GRANII"],
+            body,
+            title="Figure 9: compositions on neighborhood samples of MC (H100, DGL)",
+        )
+
+    def variation_coefficient(self, model: str, size: int, comp: str = "time_a") -> float:
+        times = np.array(
+            [r[comp] for r in self.rows if r["model"] == model and r["size"] == size]
+        )
+        return float(times.std() / times.mean())
+
+    def majority_winner(self, model: str, size: int) -> str:
+        rows = [r for r in self.rows if r["model"] == model and r["size"] == size]
+        wins_a = sum(r["winner"] == "A" for r in rows)
+        return "A" if wins_a * 2 >= len(rows) else "B"
+
+    def granii_accuracy(self, model: str) -> float:
+        """Fraction of sampling sizes where GRANII picks the majority winner."""
+        hits = [
+            self.granii_choice[(model, size)] == self.majority_winner(model, size)
+            for size in SAMPLE_SIZES
+        ]
+        return float(np.mean(hits))
+
+    def wrong_decision_margin(self, model: str) -> float:
+        """Largest relative margin among sizes GRANII got wrong (0 if none)."""
+        worst = 0.0
+        for size in SAMPLE_SIZES:
+            if self.granii_choice[(model, size)] == self.majority_winner(model, size):
+                continue
+            rows = [r for r in self.rows if r["model"] == model and r["size"] == size]
+            for r in rows:
+                margin = abs(r["time_a"] - r["time_b"]) / max(r["time_a"], r["time_b"])
+                worst = max(worst, margin)
+        return worst
+
+    def preference_changes_with_size(self, model: str) -> bool:
+        winners = {self.majority_winner(model, size) for size in SAMPLE_SIZES}
+        return len(winners) > 1
+
+
+def run(
+    scale: str = "default",
+    graph_code: str = "MC",
+    device: str = "h100",
+    system: str = "dgl",
+    num_samples: int = 10,
+    seed: int = 0,
+) -> Figure9:
+    graph = load(graph_code, scale)
+    dev = get_device(device)
+    sys_ = get_system(system)
+    rng = np.random.default_rng(seed)
+    setups = {"gcn": (32, 256), "gat": (1024, 2048)}
+    rows: List[Dict] = []
+    granii_choice: Dict[Tuple[str, int], str] = {}
+    for model, (k1, k2) in setups.items():
+        compiled = compile_model(model)
+        if model == "gcn":
+            comp_a = compiled.find(norm="dynamic", order="agg_first")[0]
+            comp_b = compiled.find(norm="precompute", order="agg_first")[0]
+        else:
+            comp_a = compiled.find(gat="reuse")[0]
+            comp_b = compiled.find(gat="recompute")[0]
+        engine = _engine_for(
+            Workload(model, graph_code, k1, k2, system=system, device=device, scale=scale)
+        )
+        for size in SAMPLE_SIZES:
+            for sample_idx in range(num_samples):
+                sub = sample_fanout(graph, size, rng)
+                sub.name = f"{sub.name}#{sample_idx}"
+                env = shape_env_for(sub, model, k1, k2)
+                stats = GraphStats.from_graph(sub)
+                time_a = measured_plan_time(comp_a.plan, env, dev, sys_, stats)
+                time_b = measured_plan_time(comp_b.plan, env, dev, sys_, stats)
+                rows.append(
+                    {
+                        "model": model,
+                        "size": size,
+                        "sample": sample_idx,
+                        "time_a": time_a,
+                        "time_b": time_b,
+                        "winner": "A" if time_a <= time_b else "B",
+                    }
+                )
+                if sample_idx == 0:
+                    # GRANII's one decision per sampling size, from the
+                    # first sample's features (the §VI-E protocol)
+                    vec = featurize_graph(sub)
+                    cost_a = engine.predict_plan_cost(comp_a.plan, env, vec)
+                    cost_b = engine.predict_plan_cost(comp_b.plan, env, vec)
+                    granii_choice[(model, size)] = "A" if cost_a <= cost_b else "B"
+    return Figure9(rows, granii_choice)

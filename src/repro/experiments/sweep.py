@@ -1,0 +1,139 @@
+"""The full evaluation sweep behind Table III and Figure 8.
+
+Grid: 6 graphs × 5 models × embedding pairs × {WiseGraph, DGL} ×
+{H100, A100 (+CPU for DGL)} × {inference, training}, matching the
+hardware/system combinations of Table III.  (The paper evaluates
+WiseGraph on GPUs only; CPU rows exist for DGL.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graphs import EVALUATION_CODES
+from ..models import MODEL_NAMES
+from .common import (
+    Workload,
+    WorkloadResult,
+    embedding_pairs_for,
+    evaluate_workload,
+    geomean,
+)
+
+__all__ = ["SYSTEM_DEVICE_GRID", "SweepResult", "run_sweep", "sweep_workloads"]
+
+# (system, device) combinations evaluated in Table III
+SYSTEM_DEVICE_GRID: Tuple[Tuple[str, str], ...] = (
+    ("wisegraph", "h100"),
+    ("wisegraph", "a100"),
+    ("dgl", "h100"),
+    ("dgl", "a100"),
+    ("dgl", "cpu"),
+)
+
+
+def sweep_workloads(
+    models: Sequence[str] = MODEL_NAMES,
+    graphs: Sequence[str] = EVALUATION_CODES,
+    grid: Sequence[Tuple[str, str]] = SYSTEM_DEVICE_GRID,
+    modes: Sequence[str] = ("inference", "training"),
+    scale: str = "default",
+    iterations: int = 100,
+) -> List[Workload]:
+    """Enumerate the full evaluation grid."""
+    out: List[Workload] = []
+    for system, device in grid:
+        for mode in modes:
+            for model in models:
+                for code in graphs:
+                    for k1, k2 in embedding_pairs_for(model):
+                        out.append(
+                            Workload(
+                                model=model,
+                                graph_code=code,
+                                in_size=k1,
+                                out_size=k2,
+                                system=system,
+                                device=device,
+                                mode=mode,
+                                iterations=iterations,
+                                scale=scale,
+                            )
+                        )
+    return out
+
+
+@dataclass
+class SweepResult:
+    """All per-cell results plus aggregation helpers."""
+
+    results: List[WorkloadResult] = field(default_factory=list)
+
+    def to_csv(self, path) -> None:
+        """Dump the raw per-cell grid (the data behind Figure 8)."""
+        import csv
+        from pathlib import Path
+
+        with Path(path).open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["model", "graph", "in_size", "out_size", "system", "device",
+                 "mode", "default_label", "granii_label", "optimal_label",
+                 "default_seconds", "granii_seconds", "optimal_seconds",
+                 "speedup"]
+            )
+            for r in self.results:
+                w = r.workload
+                writer.writerow(
+                    [w.model, w.graph_code, w.in_size, w.out_size, w.system,
+                     w.device, w.mode, r.default_label, r.granii_label,
+                     r.optimal_label, f"{r.default_seconds:.6e}",
+                     f"{r.granii_seconds:.6e}", f"{r.optimal_seconds:.6e}",
+                     f"{r.speedup:.4f}"]
+                )
+
+    def filtered(self, **attrs) -> List[WorkloadResult]:
+        out = self.results
+        for key, value in attrs.items():
+            out = [r for r in out if getattr(r.workload, key) == value]
+        return out
+
+    def geomean_speedup(self, **attrs) -> float:
+        subset = self.filtered(**attrs)
+        if not subset:
+            raise ValueError(f"no results match {attrs}")
+        return geomean([r.speedup for r in subset])
+
+    def geomean_optimal_speedup(self, **attrs) -> float:
+        subset = self.filtered(**attrs)
+        if not subset:
+            raise ValueError(f"no results match {attrs}")
+        return geomean([r.optimal_speedup for r in subset])
+
+
+def run_sweep(
+    workloads: Optional[Iterable[Workload]] = None, **kwargs
+) -> SweepResult:
+    """Evaluate every workload cell (deterministic, cached substrates)."""
+    if workloads is None:
+        workloads = sweep_workloads(**kwargs)
+    result = SweepResult()
+    for workload in workloads:
+        result.results.append(evaluate_workload(workload))
+    return result
+
+
+_FULL_SWEEPS: Dict[str, SweepResult] = {}
+
+
+def full_sweep(scale: str = "default") -> SweepResult:
+    """The complete Table III / Figure 8 sweep, cached per process.
+
+    Several experiment drivers (Table III, Figure 8, Table VI's oracles)
+    aggregate the same grid; running it once keeps the benchmark suite
+    fast and guarantees they report consistent numbers.
+    """
+    if scale not in _FULL_SWEEPS:
+        _FULL_SWEEPS[scale] = run_sweep(scale=scale)
+    return _FULL_SWEEPS[scale]

@@ -1,0 +1,76 @@
+"""Table IV: end-to-end two-layer model times on Reddit & ogbn-products.
+
+Forward-pass execution times (ms) for end-to-end GCN and GAT models —
+input features → hidden → classes — on the H100 target, against both
+baseline systems, for hidden dimensions 32/256/1024.  Feature widths and
+class counts follow the paper (Reddit: 602 features / 41 classes for GCN
+and 100/47 for GAT; ogbn-products: 100/47).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .multilayer import evaluate_multilayer
+from .report import format_speedup, render_table
+
+__all__ = ["Table4", "run", "END_TO_END_CONFIGS"]
+
+# (graph, model, feature width, classes)
+END_TO_END_CONFIGS = (
+    ("RD", "gcn", 602, 41),
+    ("RD", "gat", 100, 47),
+    ("OP", "gcn", 100, 47),
+    ("OP", "gat", 100, 47),
+)
+
+HIDDEN_DIMS = (32, 256, 1024)
+
+
+@dataclass
+class Table4:
+    rows: List[Dict]
+
+    def render(self) -> str:
+        body = [
+            [
+                r["graph"], r["model"].upper(), r["hidden"], r["system"],
+                f"{1e3 * r['default_ms']:.3f}", f"{1e3 * r['granii_ms']:.3f}",
+                format_speedup(r["speedup"]),
+            ]
+            for r in self.rows
+        ]
+        return render_table(
+            ["Graph", "GNN", "Hidden", "System", "Default (ms)", "GRANII (ms)", "Speedup"],
+            body,
+            title="Table IV: end-to-end 2-layer forward times on H100",
+        )
+
+
+def run(scale: str = "default", device: str = "h100") -> Table4:
+    rows: List[Dict] = []
+    for graph_code, model, features, classes in END_TO_END_CONFIGS:
+        for hidden in HIDDEN_DIMS:
+            for system in ("wisegraph", "dgl"):
+                timing = evaluate_multilayer(
+                    model,
+                    graph_code,
+                    [features, hidden, classes],
+                    system=system,
+                    device=device,
+                    scale=scale,
+                )
+                rows.append(
+                    {
+                        "graph": graph_code,
+                        "model": model,
+                        "hidden": hidden,
+                        "system": system,
+                        "default_ms": timing.default_seconds,
+                        "granii_ms": timing.granii_seconds,
+                        "speedup": timing.speedup,
+                        "labels": timing.layer_labels_granii,
+                    }
+                )
+    return Table4(rows)

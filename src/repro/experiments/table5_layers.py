@@ -1,0 +1,72 @@
+"""Table V: GRANII with a varying number of GNN layers (§VI-F).
+
+Per-layer decisions chain; the sparsity of the input graph does not
+change across layers, so speedups vs the WiseGraph default stay
+consistent as depth grows (the amortised Ñ precomputation is shared by
+all layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .multilayer import evaluate_multilayer
+from .report import format_speedup, render_table
+
+__all__ = ["Table5", "run"]
+
+LAYER_COUNTS = (1, 2, 3, 4)
+
+
+@dataclass
+class Table5:
+    rows: List[Dict]
+
+    def render(self) -> str:
+        body = [
+            [r["model"].upper(), r["graph"], r["layers"], format_speedup(r["speedup"])]
+            for r in self.rows
+        ]
+        return render_table(
+            ["Model", "Graph", "Layers", "Speedup"],
+            body,
+            title="Table V: GRANII speedup vs WiseGraph with multiple layers",
+        )
+
+    def speedups_for(self, model: str, graph: str) -> List[float]:
+        return [
+            r["speedup"]
+            for r in self.rows
+            if r["model"] == model and r["graph"] == graph
+        ]
+
+
+def run(
+    scale: str = "default",
+    models: Tuple[str, ...] = ("gcn", "gat"),
+    graphs: Tuple[str, ...] = ("RD", "MC", "BL"),
+    feat_dim: int = 128,
+    hidden: int = 64,
+    device: str = "a100",
+) -> Table5:
+    rows: List[Dict] = []
+    for model in models:
+        for graph in graphs:
+            for depth in LAYER_COUNTS:
+                # depth L: feat -> hidden x L; each extra layer adds an
+                # identical (hidden, hidden) layer so depths are comparable
+                dims = [feat_dim] + [hidden] * depth
+                timing = evaluate_multilayer(
+                    model, graph, dims, system="wisegraph", device=device,
+                    scale=scale,
+                )
+                rows.append(
+                    {
+                        "model": model,
+                        "graph": graph,
+                        "layers": depth,
+                        "speedup": timing.speedup,
+                    }
+                )
+    return Table5(rows)

@@ -1,0 +1,75 @@
+"""Built-in message and reduce functions (DGL's ``fn`` namespace).
+
+Baseline GNN models are written in the message-passing paradigm:
+``g.update_all(fn.copy_u('h', 'm'), fn.sum('m', 'h'))``.  These descriptor
+objects carry only *names*; :mod:`repro.framework.mp` maps each
+(message, reduce) pair onto a g-SpMM semiring, and GRANII's frontend maps
+them onto matrix-IR operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MessageFunc",
+    "ReduceFunc",
+    "copy_u",
+    "copy_e",
+    "u_mul_e",
+    "u_add_v",
+    "sum",
+    "mean",
+    "max",
+]
+
+
+@dataclass(frozen=True)
+class MessageFunc:
+    """A message function: what each edge carries."""
+
+    name: str  # 'copy_u' | 'copy_e' | 'u_mul_e' | 'u_add_v'
+    src_field: str
+    edge_field: str
+    out_field: str
+
+
+@dataclass(frozen=True)
+class ReduceFunc:
+    """A reduce function: how destinations combine incoming messages."""
+
+    name: str  # 'sum' | 'mean' | 'max'
+    msg_field: str
+    out_field: str
+
+
+def copy_u(src_field: str, out_field: str) -> MessageFunc:
+    """Message = source node feature (unweighted aggregation)."""
+    return MessageFunc("copy_u", src_field, "", out_field)
+
+
+def copy_e(edge_field: str, out_field: str) -> MessageFunc:
+    """Message = edge feature."""
+    return MessageFunc("copy_e", "", edge_field, out_field)
+
+
+def u_mul_e(src_field: str, edge_field: str, out_field: str) -> MessageFunc:
+    """Message = source feature × edge value (weighted aggregation)."""
+    return MessageFunc("u_mul_e", src_field, edge_field, out_field)
+
+
+def u_add_v(src_field: str, dst_field: str, out_field: str) -> MessageFunc:
+    """Per-edge sum of endpoint features (GAT's attention logits)."""
+    return MessageFunc("u_add_v", src_field, dst_field, out_field)
+
+
+def sum(msg_field: str, out_field: str) -> ReduceFunc:  # noqa: A001 - DGL name
+    return ReduceFunc("sum", msg_field, out_field)
+
+
+def mean(msg_field: str, out_field: str) -> ReduceFunc:
+    return ReduceFunc("mean", msg_field, out_field)
+
+
+def max(msg_field: str, out_field: str) -> ReduceFunc:  # noqa: A001 - DGL name
+    return ReduceFunc("max", msg_field, out_field)

@@ -1,0 +1,73 @@
+"""Base class for GNN layers/models running on the message-passing engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..tensor import Module, Tensor
+from .mp import MPGraph
+
+__all__ = ["GNNModule"]
+
+
+class GNNModule(Module):
+    """A GNN model: ``forward(graph, features) -> Tensor``.
+
+    The first argument may be an :class:`MPGraph` or a plain
+    :class:`~repro.graphs.graph.Graph` — the latter is wrapped (adding
+    self-loops unless ``wants_self_loops`` is False, as for GIN) so the
+    paper's Figure 4 usage works verbatim.
+
+    GRANII accelerates a model by attaching an *executor* — a callable with
+    the same signature produced from the selected primitive-composition
+    plan.  When attached, ``__call__`` routes through it; the original
+    message-passing ``forward`` stays available as the baseline.
+    """
+
+    wants_self_loops = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._granii_executor: Optional[Callable] = None
+
+    def attach_executor(self, executor: Callable) -> None:
+        """Install a GRANII-selected plan executor (Figure 4's 'only change')."""
+        self._granii_executor = executor
+
+    def detach_executor(self) -> None:
+        self._granii_executor = None
+
+    @property
+    def granii_enabled(self) -> bool:
+        return self._granii_executor is not None
+
+    def granii_layers(self):
+        """The sub-layers GRANII should optimise independently.
+
+        Containers (multi-layer stacks, multi-head attention) override
+        this; a plain layer optimises itself.
+        """
+        return [self]
+
+    def as_mp_graph(self, graph) -> MPGraph:
+        """Wrap (and cache) a Graph into the message-passing context."""
+        if isinstance(graph, MPGraph):
+            return graph
+        cache_attr = "_mp_loops" if self.wants_self_loops else "_mp_raw"
+        cached = getattr(graph, cache_attr, None)
+        if cached is None:
+            adj = graph.adj_with_self_loops() if self.wants_self_loops else graph.adj
+            cached = MPGraph(adj)
+            try:
+                setattr(graph, cache_attr, cached)
+            except AttributeError:  # pragma: no cover - exotic graph objects
+                pass
+        return cached
+
+    def __call__(self, graph, feat, *args, **kwargs):
+        graph = self.as_mp_graph(graph)
+        if not isinstance(feat, Tensor):
+            feat = Tensor(feat)
+        if self._granii_executor is not None:
+            return self._granii_executor(graph, feat, *args, **kwargs)
+        return self.forward(graph, feat, *args, **kwargs)

@@ -1,0 +1,65 @@
+"""The public GRANII entry point (paper Figure 4).
+
+Usage mirrors the paper exactly::
+
+    import repro
+    graph, node_feats, labels = ...
+    model = repro.models.GCNLayer(in_size, out_size)
+    repro.GRANII(model, graph, node_feats, labels)   # <- only change
+    res = model(graph, node_feats)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core.runtime import GraniiEngine, OptimizationReport
+from .graphs import Graph
+
+__all__ = ["GRANII"]
+
+
+def GRANII(
+    model,
+    graph: Graph,
+    node_feats=None,
+    labels=None,
+    device: str = "h100",
+    system: str = "dgl",
+    iterations: int = 100,
+    mode: str = "inference",
+    scale: str = "default",
+    engine: Optional[GraniiEngine] = None,
+) -> OptimizationReport:
+    """Accelerate ``model`` in place for the given input.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.framework.module.GNNModule` layer or a
+        :class:`~repro.models.zoo.MultiLayerGNN` stack.
+    graph, node_feats, labels:
+        The inputs the model will be run with; GRANII inspects the graph
+        (and the model's embedding sizes) to select the best composition.
+        ``labels`` is accepted for interface fidelity with the paper;
+        selection does not depend on it.
+    device / system:
+        The execution target whose cost models steer selection
+        ('cpu' | 'a100' | 'h100'; 'dgl' | 'wisegraph').
+    iterations:
+        Expected number of model executions — amortises one-time sparse
+        precomputation in the cost comparison (paper uses 100).
+    mode:
+        'inference' or 'training' (training adds backward-pass costs).
+
+    Returns the per-layer :class:`OptimizationReport` (chosen composition,
+    decision overheads).
+    """
+    engine = engine or GraniiEngine(
+        device=device,
+        system=system,
+        iterations=iterations,
+        mode=mode,
+        scale=scale,
+    )
+    return engine.optimize(model, graph, node_feats, labels)

@@ -1,0 +1,75 @@
+"""Graph substrate: container, generators, datasets, sampling, features."""
+
+from .datasets import (
+    EVALUATION_CODES,
+    load,
+    load_all,
+    make_node_features,
+    train_val_test_masks,
+    training_graphs,
+)
+from .features import GRAPH_FEATURE_NAMES, graph_feature_dict, graph_feature_vector
+from .generators import (
+    barabasi_albert,
+    complete,
+    erdos_renyi,
+    mycielskian,
+    overlapping_cliques,
+    path,
+    rmat,
+    road_mesh,
+    sbm_communities,
+    star,
+)
+from .coarsen import CoarseLevel, coarsen, coarsen_hierarchy
+from .graph import Graph
+from .partition import (
+    bfs_partition,
+    degree_reorder,
+    edge_cut_fraction,
+    estimate_partition_efficiency,
+    partition_balance,
+)
+from .sampling import (
+    SampledBlock,
+    neighbor_sample,
+    sample_blocks,
+    sample_fanout,
+    sample_nodes,
+)
+
+__all__ = [
+    "EVALUATION_CODES",
+    "GRAPH_FEATURE_NAMES",
+    "Graph",
+    "SampledBlock",
+    "barabasi_albert",
+    "bfs_partition",
+    "CoarseLevel",
+    "coarsen",
+    "coarsen_hierarchy",
+    "complete",
+    "degree_reorder",
+    "edge_cut_fraction",
+    "erdos_renyi",
+    "estimate_partition_efficiency",
+    "partition_balance",
+    "graph_feature_dict",
+    "graph_feature_vector",
+    "load",
+    "load_all",
+    "make_node_features",
+    "mycielskian",
+    "neighbor_sample",
+    "overlapping_cliques",
+    "path",
+    "rmat",
+    "road_mesh",
+    "sample_blocks",
+    "sample_fanout",
+    "sample_nodes",
+    "sbm_communities",
+    "star",
+    "train_val_test_masks",
+    "training_graphs",
+]

@@ -1,0 +1,120 @@
+"""Graph partitioning and reordering — WiseGraph's substrate technique.
+
+WiseGraph's headline optimization is a joint workload partition of the
+graph and its operations, which improves the locality (and hence
+efficiency) of its sparse kernels.  This module implements the substrate:
+a balanced BFS-grown k-way partitioner, quality metrics (edge cut,
+balance), a degree-based reordering, and an efficiency estimator that
+turns partition quality into the sparse-kernel time multiplier the
+``wisegraph`` system personality applies (≈0.88 on the evaluation
+graphs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "bfs_partition",
+    "edge_cut_fraction",
+    "partition_balance",
+    "degree_reorder",
+    "estimate_partition_efficiency",
+]
+
+
+def bfs_partition(graph: Graph, num_parts: int, seed: int = 0) -> np.ndarray:
+    """Balanced k-way partition by breadth-first region growing.
+
+    Parts are grown one at a time from unassigned seed nodes up to the
+    target size; BFS growth keeps each part locally connected, which is
+    what yields low edge cuts on graphs with locality (meshes,
+    communities) and high cuts on expanders.
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    n = graph.num_nodes
+    if num_parts >= n:
+        return np.arange(n, dtype=np.int64) % num_parts
+    rng = np.random.default_rng(seed)
+    membership = -np.ones(n, dtype=np.int64)
+    target = int(np.ceil(n / num_parts))
+    adj = graph.adj
+    order = rng.permutation(n)
+    cursor = 0
+    for part in range(num_parts):
+        size = 0
+        queue: deque = deque()
+        while size < target:
+            if not queue:
+                # find the next unassigned seed
+                while cursor < n and membership[order[cursor]] >= 0:
+                    cursor += 1
+                if cursor >= n:
+                    break
+                queue.append(order[cursor])
+            node = queue.popleft()
+            if membership[node] >= 0:
+                continue
+            membership[node] = part
+            size += 1
+            start, stop = adj.indptr[node], adj.indptr[node + 1]
+            for neighbor in adj.indices[start:stop]:
+                if membership[neighbor] < 0:
+                    queue.append(int(neighbor))
+    membership[membership < 0] = num_parts - 1
+    return membership
+
+
+def edge_cut_fraction(graph: Graph, membership: np.ndarray) -> float:
+    """Fraction of stored edges whose endpoints lie in different parts."""
+    membership = np.asarray(membership)
+    if membership.shape[0] != graph.num_nodes:
+        raise ValueError("one part id per node required")
+    if graph.num_edges == 0:
+        return 0.0
+    rows = graph.adj.row_ids()
+    cols = graph.adj.indices
+    return float((membership[rows] != membership[cols]).mean())
+
+
+def partition_balance(membership: np.ndarray, num_parts: int) -> float:
+    """Largest part size over the ideal size (1.0 = perfectly balanced)."""
+    counts = np.bincount(membership, minlength=num_parts)
+    ideal = membership.shape[0] / num_parts
+    return float(counts.max() / ideal) if ideal else 1.0
+
+
+def degree_reorder(graph: Graph, descending: bool = True) -> np.ndarray:
+    """A permutation ordering nodes by degree (hub-first locality trick)."""
+    deg = graph.degrees()
+    order = np.argsort(deg, kind="stable")
+    return order[::-1].copy() if descending else order
+
+
+def estimate_partition_efficiency(
+    graph: Graph, num_parts: int = 8, seed: int = 0,
+    max_gain: float = 0.2,
+) -> float:
+    """Sparse-kernel time multiplier a partition-aware system achieves.
+
+    Intra-part edges hit cached rows; cut edges do not.  A partition
+    keeping fraction ``(1 - cut)`` of edges internal saves up to
+    ``max_gain`` of sparse-kernel time:
+
+        efficiency = 1 - max_gain · (1 - cut) · (balance_penalty)
+
+    This is the model behind the wisegraph personality's ≈0.88 sparse
+    efficiency constant: on the evaluation graphs the BFS partitioner
+    keeps most edges internal at good balance.
+    """
+    membership = bfs_partition(graph, num_parts, seed=seed)
+    cut = edge_cut_fraction(graph, membership)
+    balance = partition_balance(membership, num_parts)
+    balance_penalty = 1.0 / balance  # imbalance erodes the benefit
+    return float(1.0 - max_gain * (1.0 - cut) * balance_penalty)

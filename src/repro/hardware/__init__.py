@@ -1,0 +1,18 @@
+"""Hardware timing models for the cpu / a100 / h100 evaluation targets."""
+
+from .device import Device, DeviceProfile, GraphStats, bytes_moved
+from .profiles import DEVICE_NAMES, DEVICE_PROFILES, all_devices, get_device
+from .timer import Timer, time_fn
+
+__all__ = [
+    "DEVICE_NAMES",
+    "DEVICE_PROFILES",
+    "Device",
+    "DeviceProfile",
+    "GraphStats",
+    "Timer",
+    "all_devices",
+    "bytes_moved",
+    "get_device",
+    "time_fn",
+]

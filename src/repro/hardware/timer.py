@@ -1,0 +1,33 @@
+"""Wall-clock timing helpers for the real (NumPy, CPU) benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+__all__ = ["Timer", "time_fn"]
+
+
+class Timer:
+    """A context-manager stopwatch: ``with Timer() as t: ...; t.elapsed``."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_fn(fn: Callable, repeats: int = 3, warmup: int = 1) -> Tuple[float, object]:
+    """Minimum-of-repeats wall-clock time of ``fn()`` and its last result."""
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result

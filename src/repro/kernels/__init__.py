@@ -1,0 +1,82 @@
+"""Sparse and dense matrix primitives (g-SpMM, g-SDDMM, GEMM, broadcasts)."""
+
+from .broadcast import col_broadcast, row_broadcast, row_broadcast_flops
+from .dense import (
+    elementwise_add,
+    elementwise_mul,
+    elu,
+    gemm,
+    gemm_flops,
+    leaky_relu,
+    log_softmax_rows,
+    relu,
+    sigmoid,
+    softmax_rows,
+)
+from .fused import fused_attention_aggregate
+from .normalize import (
+    degrees_by_binning,
+    degrees_from_indptr,
+    gcn_norm_vector,
+    norm_diagonal,
+)
+from .registry import PRIMITIVES, KernelCall, Primitive, get_primitive
+from .sddmm import (
+    gsddmm,
+    sddmm,
+    sddmm_diag_scale,
+    sddmm_diag_scale_flops,
+    sddmm_flops,
+)
+from .semiring import BINARY_OPS, REDUCE_OPS, BinaryOp, ReduceOp, Semiring, get_semiring
+from .softmax import edge_softmax, segment_max, segment_sum
+from .spadd import spadd_diag
+from .spgemm import sampled_power_nnz, spgemm, spgemm_output_nnz_estimate
+from .spmm import gspmm, gspmm_flops, spmm, spmm_unweighted
+
+__all__ = [
+    "BINARY_OPS",
+    "BinaryOp",
+    "KernelCall",
+    "PRIMITIVES",
+    "Primitive",
+    "REDUCE_OPS",
+    "ReduceOp",
+    "Semiring",
+    "col_broadcast",
+    "degrees_by_binning",
+    "degrees_from_indptr",
+    "edge_softmax",
+    "elementwise_add",
+    "elementwise_mul",
+    "elu",
+    "fused_attention_aggregate",
+    "gcn_norm_vector",
+    "gemm",
+    "gemm_flops",
+    "get_primitive",
+    "get_semiring",
+    "gsddmm",
+    "gspmm",
+    "gspmm_flops",
+    "leaky_relu",
+    "log_softmax_rows",
+    "norm_diagonal",
+    "relu",
+    "row_broadcast",
+    "row_broadcast_flops",
+    "sddmm",
+    "sddmm_diag_scale",
+    "sddmm_diag_scale_flops",
+    "sddmm_flops",
+    "segment_max",
+    "segment_sum",
+    "sigmoid",
+    "softmax_rows",
+    "sampled_power_nnz",
+    "spadd_diag",
+    "spgemm",
+    "spgemm_output_nnz_estimate",
+    "spmm",
+    "spmm_unweighted",
+]

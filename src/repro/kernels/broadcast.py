@@ -1,0 +1,41 @@
+"""Row- and column-broadcast primitives (Equation 1 of the paper).
+
+``row_broadcast(d, B)`` computes ``c[i, j] = d[i] * b[i, j]`` — multiplying
+every row of a dense matrix by a per-row scalar.  It is the primitive GCN's
+dynamic normalization uses, and the one the IR rewrite (Appendix C)
+re-expresses as multiplication by a diagonal matrix to unlock further
+re-association.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["row_broadcast", "col_broadcast", "row_broadcast_flops"]
+
+
+def row_broadcast(d: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``diag(d) @ B`` realised as a broadcasted multiply."""
+    d = np.asarray(d, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if d.ndim != 1:
+        raise ValueError("broadcast vector must be 1-D")
+    if b.ndim != 2 or b.shape[0] != d.shape[0]:
+        raise ValueError(f"row_broadcast shape mismatch: {d.shape} vs {b.shape}")
+    return d[:, None] * b
+
+
+def col_broadcast(b: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """``B @ diag(d)`` realised as a broadcasted multiply."""
+    d = np.asarray(d, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if d.ndim != 1:
+        raise ValueError("broadcast vector must be 1-D")
+    if b.ndim != 2 or b.shape[1] != d.shape[0]:
+        raise ValueError(f"col_broadcast shape mismatch: {b.shape} vs {d.shape}")
+    return b * d[None, :]
+
+
+def row_broadcast_flops(n: int, k: int) -> int:
+    """One multiply per output cell; complexity O(N·K) (Figure 3)."""
+    return n * k

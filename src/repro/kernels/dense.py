@@ -1,0 +1,81 @@
+"""Dense matrix primitives (paper §II-A).
+
+All inputs and outputs here are dense NumPy arrays.  The heavyweight
+primitive is GEMM; element-wise non-linearities are also provided because
+they delimit re-association regions in the IR (non-linearities are
+association barriers, §IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gemm",
+    "elementwise_add",
+    "elementwise_mul",
+    "relu",
+    "leaky_relu",
+    "elu",
+    "sigmoid",
+    "softmax_rows",
+    "log_softmax_rows",
+    "gemm_flops",
+]
+
+
+def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """General matrix-matrix multiplication ``A @ B``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("gemm expects 2-D operands")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"gemm shape mismatch: {a.shape} @ {b.shape}")
+    return a @ b
+
+
+def gemm_flops(m: int, k: int, n: int) -> int:
+    """Multiply-add count of an (m×k)·(k×n) GEMM."""
+    return 2 * m * k * n
+
+
+def elementwise_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.asarray(a, np.float64) + np.asarray(b, np.float64)
+
+
+def elementwise_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.asarray(a, np.float64) * np.asarray(b, np.float64)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.2) -> np.ndarray:
+    return np.where(x > 0, x, negative_slope * x)
+
+
+def elu(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    return np.where(x > 0, x, alpha * (np.exp(np.minimum(x, 0.0)) - 1.0))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def softmax_rows(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=-1, keepdims=True)
+
+
+def log_softmax_rows(x: np.ndarray) -> np.ndarray:
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))

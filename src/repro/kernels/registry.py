@@ -1,0 +1,156 @@
+"""Registry of the sparse and dense matrix primitives GRANII reasons about.
+
+Every primitive the association rules can emit is described here once:
+its name, whether it is a sparse or dense primitive (Figure 2's runtime
+split is computed from this), and an analytic operation count used both by
+the complexity tables (Figure 3) and as the workload measure the hardware
+timing model scales.
+
+A :class:`KernelCall` is the *symbolic* form of one primitive invocation —
+enough shape/sparsity metadata to cost it without executing it.  Lowered
+plans (``repro.core.codegen``) carry lists of KernelCalls alongside the
+executable closures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping
+
+__all__ = ["Primitive", "KernelCall", "PRIMITIVES", "get_primitive"]
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """Static description of one matrix primitive."""
+
+    name: str
+    kind: str  # "sparse" or "dense"
+    flops: Callable[[Mapping[str, float]], float]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sparse", "dense"):
+            raise ValueError("kind must be 'sparse' or 'dense'")
+
+
+def _f(expr: Callable[[Mapping[str, float]], float]) -> Callable:
+    return expr
+
+
+PRIMITIVES: Dict[str, Primitive] = {
+    "gemm": Primitive(
+        "gemm", "dense",
+        _f(lambda s: 2.0 * s["m"] * s["k"] * s["n"]),
+        "dense (m×k)·(k×n) matrix multiplication",
+    ),
+    "spmm": Primitive(
+        "spmm", "sparse",
+        _f(lambda s: 2.0 * s["nnz"] * s["k"]),
+        "weighted sparse·dense multiplication, O(E·K)",
+    ),
+    "spmm_unweighted": Primitive(
+        "spmm_unweighted", "sparse",
+        _f(lambda s: 1.0 * s["nnz"] * s["k"]),
+        "pattern-only sparse·dense multiplication (no edge-value multiply)",
+    ),
+    "sddmm": Primitive(
+        "sddmm", "sparse",
+        _f(lambda s: 2.0 * s["nnz"] * s["k"]),
+        "sampled dense-dense multiplication, O(E·K)",
+    ),
+    "sddmm_diag": Primitive(
+        "sddmm_diag", "sparse",
+        _f(lambda s: 2.0 * s["nnz"]),
+        "diag·sparse·diag scaling on the pattern, O(E)",
+    ),
+    "gsddmm_attn": Primitive(
+        "gsddmm_attn", "sparse",
+        _f(lambda s: 2.0 * s["nnz"]),
+        "per-edge attention logits from endpoint scores, O(E)",
+    ),
+    "edge_softmax": Primitive(
+        "edge_softmax", "sparse",
+        _f(lambda s: 4.0 * s["nnz"]),
+        "softmax over each destination's incident edges, O(E)",
+    ),
+    "row_broadcast": Primitive(
+        "row_broadcast", "dense",
+        _f(lambda s: 1.0 * s["m"] * s["k"]),
+        "per-row scalar times dense matrix, O(N·K)",
+    ),
+    "elementwise": Primitive(
+        "elementwise", "dense",
+        _f(lambda s: 1.0 * s["m"] * s["k"]),
+        "element-wise dense op (add/relu/...), O(N·K)",
+    ),
+    "degree_indptr": Primitive(
+        "degree_indptr", "sparse",
+        _f(lambda s: 1.0 * s["m"]),
+        "degrees from the CSR row pointer, O(N)",
+    ),
+    "degree_binning": Primitive(
+        "degree_binning", "sparse",
+        _f(lambda s: 1.0 * s["nnz"]),
+        "degrees by scattering edges into bins, O(E) with atomics",
+    ),
+    "spgemm": Primitive(
+        "spgemm", "sparse",
+        # intermediate products: one multiply-add per (i,k)x(k,j) meeting
+        _f(lambda s: 2.0 * s["nnz"] * (s["nnz_rhs"] / max(s["m"], 1.0))),
+        "sparse x sparse multiplication (setup-only extension kernel)",
+    ),
+    "fused_attn_spmm": Primitive(
+        "fused_attn_spmm", "sparse",
+        _f(lambda s: 6.0 * s["nnz"] + 2.0 * s["nnz"] * s["k"]),
+        "fused attention-scoring + edge-softmax + aggregation, one pass",
+    ),
+    "diag_mul": Primitive(
+        "diag_mul", "dense",
+        _f(lambda s: 1.0 * s["m"]),
+        "product of two diagonal matrices (vector multiply), O(N)",
+    ),
+    "spadd_diag": Primitive(
+        "spadd_diag", "sparse",
+        _f(lambda s: 1.0 * s["nnz"] + s["m"]),
+        "sparse matrix plus diagonal (pattern union), O(E + N)",
+    ),
+}
+
+
+def get_primitive(name: str) -> Primitive:
+    try:
+        return PRIMITIVES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown primitive {name!r}; choices: {sorted(PRIMITIVES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class KernelCall:
+    """One symbolic invocation of a primitive.
+
+    ``shape`` carries whatever size metadata the primitive's flop/timing
+    functions need: ``m``/``k``/``n`` for dense shapes, ``nnz`` and
+    ``density`` for the sparse operand, ``weighted`` as 0/1.
+    """
+
+    primitive: str
+    shape: Mapping[str, float] = field(default_factory=dict)
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        get_primitive(self.primitive)  # validate eagerly
+
+    @property
+    def kind(self) -> str:
+        return get_primitive(self.primitive).kind
+
+    @property
+    def flops(self) -> float:
+        return float(get_primitive(self.primitive).flops(self.shape))
+
+    def describe(self) -> str:
+        dims = ", ".join(f"{k}={int(v)}" for k, v in sorted(self.shape.items()))
+        return f"{self.primitive}({dims})"

@@ -1,0 +1,38 @@
+"""Segmented reductions over CSR row boundaries.
+
+``ufunc.reduceat`` has awkward semantics for empty segments (it returns the
+element *at* the boundary instead of the identity), so every row-wise
+reduction in the kernel layer goes through :func:`segment_reduce`, which
+reduces only the non-empty rows and fills empty rows with the identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segment_reduce"]
+
+
+def segment_reduce(
+    values: np.ndarray,
+    indptr: np.ndarray,
+    ufunc,
+    identity: float,
+) -> np.ndarray:
+    """Reduce ``values`` within each ``[indptr[i], indptr[i+1])`` segment.
+
+    Works for 1-D ``values`` (per-edge scalars) and 2-D ``values`` (per-edge
+    feature rows); reduction is along axis 0.  Empty segments yield
+    ``identity``.
+    """
+    n = indptr.shape[0] - 1
+    out_shape = (n,) + values.shape[1:]
+    out = np.full(out_shape, identity, dtype=np.float64)
+    nonempty = np.flatnonzero(np.diff(indptr) > 0)
+    if nonempty.size:
+        # Starts are strictly increasing and in-range, so each reduceat
+        # segment spans exactly one non-empty row (empty rows between two
+        # non-empty rows contribute no elements).
+        starts = indptr[nonempty]
+        out[nonempty] = ufunc.reduceat(values, starts, axis=0)
+    return out

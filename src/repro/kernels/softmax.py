@@ -1,0 +1,45 @@
+"""Edge softmax — the sparse softmax used by GAT's attention normalisation.
+
+Given per-edge logits aligned with a CSR adjacency, normalise them with a
+softmax over each destination's incident edges (each CSR row).  The result
+is the sparse attention matrix ``α`` of Equation 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from .segment import segment_reduce
+
+__all__ = ["edge_softmax", "segment_max", "segment_sum"]
+
+
+def segment_max(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row maximum over CSR segments; -inf for empty rows."""
+    return segment_reduce(values, indptr, np.maximum, -np.inf)
+
+
+def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row sum over CSR segments; 0 for empty rows."""
+    return segment_reduce(values, indptr, np.add, 0.0)
+
+
+def edge_softmax(adj: CSRMatrix, logits: np.ndarray) -> CSRMatrix:
+    """Softmax of per-edge logits within each CSR row.
+
+    Returns a weighted CSR matrix with the same pattern as ``adj`` whose
+    stored values sum to one along every non-empty row.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.shape != (adj.nnz,):
+        raise ValueError(
+            f"expected one logit per stored entry ({adj.nnz}), got {logits.shape}"
+        )
+    deg = adj.row_degrees()
+    row_max = segment_max(logits, adj.indptr)
+    shifted = logits - np.repeat(np.where(deg > 0, row_max, 0.0), deg)
+    exps = np.exp(shifted)
+    denom = segment_sum(exps, adj.indptr)
+    vals = exps / np.repeat(np.where(deg > 0, denom, 1.0), deg)
+    return adj.with_values(vals)

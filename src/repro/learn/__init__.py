@@ -1,0 +1,13 @@
+"""Gradient-boosted regression trees (XGBoost stand-in) and metrics."""
+
+from .gbt import GradientBoostedTrees
+from .metrics import mean_absolute_percentage_error, r2_score, spearman_rank_correlation
+from .tree import RegressionTree
+
+__all__ = [
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "spearman_rank_correlation",
+]

@@ -1,0 +1,51 @@
+"""Regression quality metrics for the cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["r2_score", "mean_absolute_percentage_error", "spearman_rank_correlation"]
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 is a perfect fit."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    ss_res = ((y_true - y_pred) ** 2).sum()
+    ss_tot = ((y_true - y_true.mean()) ** 2).sum()
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return float(1.0 - ss_res / ss_tot)
+
+
+def mean_absolute_percentage_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    nz = y_true != 0
+    if not nz.any():
+        raise ValueError("MAPE undefined when all targets are zero")
+    return float(np.abs((y_true[nz] - y_pred[nz]) / y_true[nz]).mean())
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(values.shape[0])
+    return ranks
+
+
+def spearman_rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Rank correlation — what matters for *selecting* the best candidate."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("inputs must be equal-length vectors")
+    if a.shape[0] < 2:
+        raise ValueError("need at least two points")
+    ra, rb = _ranks(a), _ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra ** 2).sum() * (rb ** 2).sum())
+    if denom == 0:
+        return 0.0
+    return float((ra * rb).sum() / denom)

@@ -1,0 +1,217 @@
+"""Regression trees with exact greedy splitting.
+
+The building block of the gradient-boosted cost models (paper §IV-E2 uses
+XGBoost; we implement the same additive-tree model class from scratch).
+Splits minimise the sum of squared errors; the search is vectorised via
+per-feature sorting and prefix sums, so fitting is O(features · n log n)
+per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["RegressionTree"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    value: float = 0.0
+    left: int = -1
+    right: int = -1
+
+
+class RegressionTree:
+    """A CART-style regression tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_leaf:
+        Minimum samples on each side of a split.
+    min_gain:
+        Minimum SSE reduction for a split to be accepted.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 4,
+        min_samples_leaf: int = 2,
+        min_gain: float = 1e-12,
+    ) -> None:
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self._nodes: List[_Node] = []
+
+    # ------------------------------------------------------------------
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        """Best (feature, threshold, gain) over all features, or None."""
+        n, num_features = x.shape
+        total_sum = y.sum()
+        total_sse = ((y - total_sum / n) ** 2).sum()
+        best = None
+        min_leaf = self.min_samples_leaf
+        for f in range(num_features):
+            order = np.argsort(x[:, f], kind="stable")
+            xs = x[order, f]
+            ys = y[order]
+            prefix = np.cumsum(ys)
+            prefix_sq = np.cumsum(ys ** 2)
+            # candidate split after position i (left = [0..i])
+            counts = np.arange(1, n)
+            left_sum = prefix[:-1]
+            left_sq = prefix_sq[:-1]
+            right_sum = total_sum - left_sum
+            right_sq = prefix_sq[-1] - left_sq
+            left_sse = left_sq - left_sum ** 2 / counts
+            right_sse = right_sq - right_sum ** 2 / (n - counts)
+            gain = total_sse - (left_sse + right_sse)
+            # a split is only valid between distinct feature values and with
+            # enough samples on both sides
+            valid = (xs[1:] != xs[:-1]) & (counts >= min_leaf) & ((n - counts) >= min_leaf)
+            if not valid.any():
+                continue
+            gain = np.where(valid, gain, -np.inf)
+            i = int(np.argmax(gain))
+            if gain[i] > self.min_gain and (best is None or gain[i] > best[2]):
+                threshold = 0.5 * (xs[i] + xs[i + 1])
+                best = (f, float(threshold), float(gain[i]))
+        return best
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> int:
+        node_id = len(self._nodes)
+        self._nodes.append(_Node(value=float(y.mean())))
+        if depth >= self.max_depth or y.shape[0] < 2 * self.min_samples_leaf:
+            return node_id
+        split = self._best_split(x, y)
+        if split is None:
+            return node_id
+        feature, threshold, _ = split
+        mask = x[:, feature] <= threshold
+        left = self._build(x[mask], y[mask], depth + 1)
+        right = self._build(x[~mask], y[~mask], depth + 1)
+        node = self._nodes[node_id]
+        node.feature = feature
+        node.threshold = threshold
+        node.left = left
+        node.right = right
+        return node_id
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise ValueError("x must be (n, d) and y (n,)")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        self._nodes = []
+        self._build(x, y, depth=0)
+        return self
+
+    def predict_one(self, x: np.ndarray) -> float:
+        """Fast scalar prediction for a single feature vector."""
+        if not self._nodes:
+            raise RuntimeError("tree is not fitted")
+        node = self._nodes[0]
+        while node.feature >= 0:
+            node = self._nodes[
+                node.left if x[node.feature] <= node.threshold else node.right
+            ]
+        return node.value
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self._nodes:
+            raise RuntimeError("tree is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[0] == 1:
+            return np.array([self.predict_one(x[0])])
+        out = np.empty(x.shape[0])
+        # iterative routing, vectorised level by level
+        idx = np.zeros(x.shape[0], dtype=np.int64)
+        active = np.arange(x.shape[0])
+        while active.size:
+            nodes = idx[active]
+            feats = np.array([self._nodes[i].feature for i in nodes])
+            is_leaf = feats < 0
+            for pos in active[is_leaf]:
+                out[pos] = self._nodes[idx[pos]].value
+            active = active[~is_leaf]
+            if not active.size:
+                break
+            nodes = idx[active]
+            feats = np.array([self._nodes[i].feature for i in nodes])
+            thresholds = np.array([self._nodes[i].threshold for i in nodes])
+            go_left = x[active, feats] <= thresholds
+            lefts = np.array([self._nodes[i].left for i in nodes])
+            rights = np.array([self._nodes[i].right for i in nodes])
+            idx[active] = np.where(go_left, lefts, rights)
+        return out
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if not self._nodes:
+            return 0
+
+        def walk(i: int) -> int:
+            node = self._nodes[i]
+            if node.feature < 0:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(0)
+
+    def feature_importances(self, num_features: int) -> np.ndarray:
+        """Split counts per feature (a cheap importance proxy)."""
+        counts = np.zeros(num_features)
+        for node in self._nodes:
+            if node.feature >= 0:
+                counts[node.feature] += 1
+        total = counts.sum()
+        return counts / total if total else counts
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form of the fitted tree."""
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "min_gain": self.min_gain,
+            "nodes": [
+                [n.feature, n.threshold, n.value, n.left, n.right]
+                for n in self._nodes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegressionTree":
+        tree = cls(
+            max_depth=data["max_depth"],
+            min_samples_leaf=data["min_samples_leaf"],
+            min_gain=data["min_gain"],
+        )
+        tree._nodes = [
+            _Node(feature=f, threshold=t, value=v, left=l, right=r)
+            for f, t, v, l, r in data["nodes"]
+        ]
+        return tree

@@ -1,0 +1,30 @@
+"""GNN model zoo: GCN, GIN, SGC, TAGCN, GAT, GraphSAGE."""
+
+from .appnp import APPNPLayer
+from .functional import compute_norm, prepare_mp_graph, row_mul
+from .gat import GATLayer, MultiHeadGATLayer
+from .gcn import GCNLayer
+from .gin import GINLayer
+from .sage import SAGELayer
+from .sgc import SGCLayer
+from .tagcn import TAGCNLayer
+from .zoo import GNNStack, MODEL_NAMES, MultiLayerGNN, build_layer, uses_self_loops
+
+__all__ = [
+    "APPNPLayer",
+    "GATLayer",
+    "GCNLayer",
+    "GINLayer",
+    "GNNStack",
+    "MODEL_NAMES",
+    "MultiHeadGATLayer",
+    "MultiLayerGNN",
+    "SAGELayer",
+    "SGCLayer",
+    "TAGCNLayer",
+    "build_layer",
+    "compute_norm",
+    "prepare_mp_graph",
+    "row_mul",
+    "uses_self_loops",
+]

@@ -1,0 +1,33 @@
+"""Small functional helpers shared by the baseline model implementations.
+
+These are the exact surface forms GRANII's frontend recognises when it
+parses a model's message-passing ``forward`` source (§IV-B): ``row_mul``
+is the row-broadcast of Equation (1), ``compute_norm`` produces GCN's
+``d^{-1/2}`` vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels import norm_diagonal
+from ..tensor import Tensor
+from ..tensor import row_broadcast as t_row_broadcast
+from ..framework import MPGraph
+
+__all__ = ["compute_norm", "row_mul", "prepare_mp_graph"]
+
+
+def compute_norm(g: MPGraph, power: float = -0.5) -> np.ndarray:
+    """The per-node normalization vector ``d^power`` of the adjacency."""
+    return norm_diagonal(g.adj, power=power, method="indptr").diag
+
+
+def row_mul(x: Tensor, d: np.ndarray) -> Tensor:
+    """Row broadcast: multiply row i of ``x`` by scalar ``d[i]``."""
+    return t_row_broadcast(d, x)
+
+
+def prepare_mp_graph(graph) -> MPGraph:
+    """Wrap an evaluation graph with self-loops added (Ã = A + I)."""
+    return MPGraph(graph.adj_with_self_loops())

@@ -1,0 +1,105 @@
+"""Graph Convolutional Network (Kipf & Welling) — paper §III-A.
+
+The baseline ``forward`` is the *dynamic-normalization* composition both
+DGL and WiseGraph default to: two row-broadcasts around an unweighted
+aggregation (Equation 2).  The *precomputation* composition (Equation 3)
+— an O(E) SDDMM producing the normalized adjacency Ñ, reused across
+iterations and layers — is provided as an explicit alternative for
+cross-validation; GRANII discovers it automatically via re-association.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..framework import GNNModule, MPGraph, fn
+from ..sparse import CSRMatrix, sym_norm_values
+from ..tensor import Linear, Tensor, relu
+from ..tensor import spmm as t_spmm
+from .functional import compute_norm, row_mul
+
+__all__ = ["GCNLayer"]
+
+
+class GCNLayer(GNNModule):
+    """One GCN layer: ``σ(D^-1/2 Ã D^-1/2 H W)``."""
+
+    def __init__(
+        self,
+        in_size: int,
+        out_size: int,
+        activation: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.linear = Linear(in_size, out_size, bias=False, rng=rng)
+        self.in_size = in_size
+        self.out_size = out_size
+        self.activation = activation
+        self._norm_cache: Optional[np.ndarray] = None
+        self._nadj_cache: Optional[CSRMatrix] = None
+
+    def _maybe_activate(self, h: Tensor) -> Tensor:
+        return relu(h) if self.activation else h
+
+    # ------------------------------------------------------------------
+    # Baseline: dynamic-normalization composition (message passing).
+    # This is the source GRANII's frontend parses.
+    # ------------------------------------------------------------------
+    def forward(self, g: MPGraph, feat: Tensor) -> Tensor:
+        norm = compute_norm(g)
+        feat = row_mul(feat, norm)
+        g.set_ndata("h", feat)
+        g.update_all(fn.copy_u("h", "m"), fn.sum("m", "h"))
+        h = g.ndata["h"]
+        h = h @ self.linear.weight
+        h = row_mul(h, norm)
+        return self._maybe_activate(h)
+
+    # ------------------------------------------------------------------
+    # Explicit compositions (used for validation and as baselines).
+    # ------------------------------------------------------------------
+    def forward_dynamic(
+        self, g: MPGraph, feat: Tensor, update_first: bool = False
+    ) -> Tensor:
+        """Equation 2; ``update_first`` moves the GEMM before aggregation."""
+        norm = self._norm(g)
+        h = row_mul(feat, norm)
+        if update_first:
+            h = h @ self.linear.weight
+            h = t_spmm(g.adj.unweighted(), h)
+        else:
+            h = t_spmm(g.adj.unweighted(), h)
+            h = h @ self.linear.weight
+        h = row_mul(h, norm)
+        return self._maybe_activate(h)
+
+    def forward_precompute(
+        self, g: MPGraph, feat: Tensor, update_first: bool = False
+    ) -> Tensor:
+        """Equation 3: aggregate with the precomputed Ñ = D^-1/2 Ã D^-1/2."""
+        nadj = self._normalized_adj(g)
+        if update_first:
+            h = feat @ self.linear.weight
+            h = t_spmm(nadj, h)
+        else:
+            h = t_spmm(nadj, feat)
+            h = h @ self.linear.weight
+        return self._maybe_activate(h)
+
+    # ------------------------------------------------------------------
+    def _norm(self, g: MPGraph) -> np.ndarray:
+        key = id(g.adj)
+        if getattr(self, '_norm_key', None) != key:
+            self._norm_cache = compute_norm(g)
+            self._norm_key = key
+        return self._norm_cache
+
+    def _normalized_adj(self, g: MPGraph) -> CSRMatrix:
+        key = id(g.adj)
+        if getattr(self, '_nadj_key', None) != key:
+            self._nadj_cache = g.adj.with_values(sym_norm_values(g.adj))
+            self._nadj_key = key
+        return self._nadj_cache

@@ -1,0 +1,83 @@
+"""Simple Graph Convolution (Wu et al.) — K propagation hops, one weight.
+
+``H' = (D^-1/2 Ã D^-1/2)^K H W``.  Like GCN, the normalization can run
+dynamically (row-broadcasts around every hop) or be precomputed once; the
+GEMM can additionally be hoisted before the hops when the embedding
+shrinks — the operator reordering GRANII finds automatically (§VI-C1's
+SGC speedups on DGL come from exactly this reordering).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..framework import GNNModule, MPGraph, fn
+from ..sparse import CSRMatrix, sym_norm_values
+from ..tensor import Linear, Tensor
+from ..tensor import spmm as t_spmm
+from .functional import compute_norm, row_mul
+
+__all__ = ["SGCLayer"]
+
+
+class SGCLayer(GNNModule):
+    """SGC with ``hops`` propagation steps (no nonlinearity by design)."""
+
+    def __init__(
+        self,
+        in_size: int,
+        out_size: int,
+        hops: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        self.linear = Linear(in_size, out_size, bias=False, rng=rng)
+        self.in_size = in_size
+        self.out_size = out_size
+        self.hops = hops
+        self._nadj_cache: Optional[CSRMatrix] = None
+
+    # Baseline message-passing source (dynamic normalization, GEMM last).
+    def forward(self, g: MPGraph, feat: Tensor) -> Tensor:
+        norm = compute_norm(g)
+        h = feat
+        for _ in range(self.hops):
+            h = row_mul(h, norm)
+            g.set_ndata("h", h)
+            g.update_all(fn.copy_u("h", "m"), fn.sum("m", "h"))
+            h = g.ndata["h"]
+            h = row_mul(h, norm)
+        h = h @ self.linear.weight
+        return h
+
+    # Explicit compositions -------------------------------------------------
+    def forward_dynamic(
+        self, g: MPGraph, feat: Tensor, update_first: bool = False
+    ) -> Tensor:
+        norm = compute_norm(g)
+        h = feat @ self.linear.weight if update_first else feat
+        for _ in range(self.hops):
+            h = row_mul(h, norm)
+            h = t_spmm(g.adj.unweighted(), h)
+            h = row_mul(h, norm)
+        return h if update_first else h @ self.linear.weight
+
+    def forward_precompute(
+        self, g: MPGraph, feat: Tensor, update_first: bool = False
+    ) -> Tensor:
+        nadj = self._normalized_adj(g)
+        h = feat @ self.linear.weight if update_first else feat
+        for _ in range(self.hops):
+            h = t_spmm(nadj, h)
+        return h if update_first else h @ self.linear.weight
+
+    def _normalized_adj(self, g: MPGraph) -> CSRMatrix:
+        key = id(g.adj)
+        if getattr(self, '_nadj_key', None) != key:
+            self._nadj_cache = g.adj.with_values(sym_norm_values(g.adj))
+            self._nadj_key = key
+        return self._nadj_cache

@@ -1,0 +1,24 @@
+"""Sparse matrix substrate: CSR/COO storage and structural operations."""
+
+from .coo import COOMatrix
+from .csr import CSRMatrix, DiagonalMatrix
+from .ops import (
+    degree_vector,
+    hstack_patterns,
+    is_symmetric_pattern,
+    permute,
+    spspmul_diag,
+    sym_norm_values,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "DiagonalMatrix",
+    "degree_vector",
+    "hstack_patterns",
+    "is_symmetric_pattern",
+    "permute",
+    "spspmul_diag",
+    "sym_norm_values",
+]

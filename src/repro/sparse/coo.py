@@ -1,0 +1,85 @@
+"""COO (triplet) sparse matrices.
+
+COO is the interchange format used by the graph generators (which naturally
+emit edge lists) and by the sampling code.  Computation kernels always run
+on :class:`~repro.sparse.csr.CSRMatrix`; ``COOMatrix.to_csr`` is the bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """A sparse matrix as (rows, cols, values) triplets."""
+
+    __slots__ = ("rows", "cols", "values", "shape")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: Optional[np.ndarray],
+        shape: Tuple[int, int],
+    ) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ValueError("rows and cols must be 1-D arrays of equal length")
+        if values is not None:
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != rows.shape:
+                raise ValueError("values must align with rows/cols")
+        self.rows = rows
+        self.cols = cols
+        self.values = values
+        self.shape = (int(shape[0]), int(shape[1]))
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.shape[0])
+
+    def to_csr(self, sum_duplicates: bool = True) -> CSRMatrix:
+        return CSRMatrix.from_coo(
+            self.rows, self.cols, self.values, self.shape,
+            sum_duplicates=sum_duplicates,
+        )
+
+    @classmethod
+    def from_edges(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        n: int,
+        values: Optional[np.ndarray] = None,
+        symmetrize: bool = False,
+    ) -> "COOMatrix":
+        """Build an adjacency COO from an edge list.
+
+        With ``symmetrize`` the reverse edges are appended, which is how the
+        undirected evaluation graphs of the paper are materialised.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if symmetrize:
+            keep = src != dst
+            src2 = np.concatenate([src, dst[keep]])
+            dst2 = np.concatenate([dst, src[keep]])
+            vals = None
+            if values is not None:
+                values = np.asarray(values, np.float64)
+                vals = np.concatenate([values, values[keep]])
+            return cls(src2, dst2, vals, (n, n))
+        return cls(src, dst, values, (n, n))
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_csr().to_dense()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

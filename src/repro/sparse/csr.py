@@ -1,0 +1,379 @@
+"""Compressed Sparse Row matrices.
+
+This module implements the sparse-matrix substrate that the rest of the
+reproduction builds on.  GRANII's primitives (g-SpMM, g-SDDMM) consume the
+adjacency matrix of the input graph in CSR form; the matrix IR additionally
+distinguishes *weighted* sparse matrices (values per non-zero), *unweighted*
+ones (structure only, every stored entry is an implicit 1) and *diagonal*
+matrices (Table I of the paper).
+
+The implementation is NumPy-backed and deliberately self-contained: no
+scipy.sparse objects are used internally, although conversions are provided
+so tests can cross-check against scipy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CSRMatrix", "DiagonalMatrix"]
+
+
+class CSRMatrix:
+    """A sparse matrix in CSR format.
+
+    Parameters
+    ----------
+    indptr:
+        Row pointer array of length ``nrows + 1``.
+    indices:
+        Column indices, sorted within each row.
+    values:
+        Per-nonzero values, or ``None`` for an unweighted (pattern-only)
+        matrix whose stored entries are all implicitly ``1.0``.
+    shape:
+        ``(nrows, ncols)``.
+    """
+
+    __slots__ = ("indptr", "indices", "values", "shape")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: Optional[np.ndarray],
+        shape: Tuple[int, int],
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D arrays")
+        if len(shape) != 2:
+            raise ValueError("shape must be a (nrows, ncols) pair")
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if indptr.shape[0] != nrows + 1:
+            raise ValueError(
+                f"indptr has length {indptr.shape[0]}, expected {nrows + 1}"
+            )
+        if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indices.size and (indices.min() < 0 or indices.max() >= ncols):
+            raise ValueError("column index out of range")
+        if values is not None:
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != indices.shape:
+                raise ValueError("values must align with indices")
+        self.indptr = indptr
+        self.indices = indices
+        self.values = values
+        self.shape = (nrows, ncols)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.shape[0])
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells that are stored (0 for an empty matrix)."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.values is not None
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of stored entries per row."""
+        return np.diff(self.indptr)
+
+    def col_degrees(self) -> np.ndarray:
+        """Number of stored entries per column."""
+        return np.bincount(self.indices, minlength=self.shape[1]).astype(np.int64)
+
+    def row_ids(self) -> np.ndarray:
+        """Expanded row index per stored entry (COO row array)."""
+        return np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), self.row_degrees()
+        )
+
+    def effective_values(self) -> np.ndarray:
+        """Values array, materialising implicit ones for unweighted matrices."""
+        if self.values is not None:
+            return self.values
+        return np.ones(self.nnz, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: Optional[np.ndarray],
+        shape: Tuple[int, int],
+        sum_duplicates: bool = True,
+    ) -> "CSRMatrix":
+        """Build a CSR matrix from COO triplets.
+
+        Duplicate coordinates are summed when ``sum_duplicates`` is true
+        (for unweighted input, duplicates are simply collapsed).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if rows.size and (rows.min() < 0 or rows.max() >= nrows):
+            raise ValueError("row index out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= ncols):
+            raise ValueError("column index out of range")
+        order = np.lexsort((cols, rows))
+        rows = rows[order]
+        cols = cols[order]
+        vals = None if values is None else np.asarray(values, np.float64)[order]
+        if sum_duplicates and rows.size:
+            keys = rows * np.int64(ncols) + cols
+            uniq_mask = np.empty(rows.shape, dtype=bool)
+            uniq_mask[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=uniq_mask[1:])
+            if not uniq_mask.all():
+                group_ids = np.cumsum(uniq_mask) - 1
+                rows = rows[uniq_mask]
+                cols = cols[uniq_mask]
+                if vals is not None:
+                    vals = np.bincount(group_ids, weights=vals)
+        counts = np.bincount(rows, minlength=nrows)
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, cols, vals, (nrows, ncols))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, keep_explicit_zeros: bool = False) -> "CSRMatrix":
+        """Build a weighted CSR matrix from a dense array."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        if keep_explicit_zeros:
+            rows, cols = np.indices(dense.shape)
+            rows, cols = rows.ravel(), cols.ravel()
+        else:
+            rows, cols = np.nonzero(dense)
+        return cls.from_coo(rows, cols, dense[rows, cols], dense.shape)
+
+    @classmethod
+    def eye(cls, n: int, values: Optional[np.ndarray] = None) -> "CSRMatrix":
+        """Identity-pattern matrix; optionally with per-diagonal values."""
+        idx = np.arange(n, dtype=np.int64)
+        indptr = np.arange(n + 1, dtype=np.int64)
+        vals = None if values is None else np.asarray(values, np.float64).copy()
+        return cls(indptr, idx, vals, (n, n))
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        out[self.row_ids(), self.indices] = self.effective_values()
+        return out
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (rows, cols, values) with implicit ones materialised."""
+        return self.row_ids(), self.indices.copy(), self.effective_values().copy()
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (test cross-checking only)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.effective_values(), self.indices, self.indptr), shape=self.shape
+        )
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        mat = mat.tocsr()
+        return cls(
+            mat.indptr.astype(np.int64),
+            mat.indices.astype(np.int64),
+            np.asarray(mat.data, dtype=np.float64),
+            mat.shape,
+        )
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def with_values(self, values: Optional[np.ndarray]) -> "CSRMatrix":
+        """Same pattern with new per-nonzero values (or None for unweighted)."""
+        if values is not None:
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != self.indices.shape:
+                raise ValueError("values must align with the nonzero pattern")
+        return CSRMatrix(self.indptr, self.indices, values, self.shape)
+
+    def unweighted(self) -> "CSRMatrix":
+        """Drop values, keeping only the sparsity pattern."""
+        return self.with_values(None)
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose, again in CSR form (i.e. CSC of self)."""
+        rows, cols, vals = self.row_ids(), self.indices, self.values
+        order = np.lexsort((rows, cols))
+        t_rows = cols[order]
+        t_cols = rows[order]
+        t_vals = None if vals is None else vals[order]
+        counts = np.bincount(t_rows, minlength=self.shape[1])
+        indptr = np.zeros(self.shape[1] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRMatrix(indptr, t_cols, t_vals, (self.shape[1], self.shape[0]))
+
+    def add_self_loops(self) -> "CSRMatrix":
+        """Return A + I on the pattern (paper's Ã); existing loops are kept once.
+
+        For weighted matrices the inserted loop entries get value 1.0 added.
+        """
+        n = min(self.shape)
+        if self.shape[0] != self.shape[1]:
+            raise ValueError("self loops require a square matrix")
+        rows, cols, vals = self.to_coo()
+        loop = np.arange(n, dtype=np.int64)
+        all_rows = np.concatenate([rows, loop])
+        all_cols = np.concatenate([cols, loop])
+        if self.values is None:
+            merged = CSRMatrix.from_coo(all_rows, all_cols, None, self.shape)
+            return merged
+        all_vals = np.concatenate([vals, np.ones(n)])
+        return CSRMatrix.from_coo(all_rows, all_cols, all_vals, self.shape)
+
+    def submatrix(self, row_idx: np.ndarray, col_idx: np.ndarray) -> "CSRMatrix":
+        """Extract the (row_idx × col_idx) submatrix (used by sampling)."""
+        row_idx = np.asarray(row_idx, dtype=np.int64)
+        col_idx = np.asarray(col_idx, dtype=np.int64)
+        col_map = -np.ones(self.shape[1], dtype=np.int64)
+        col_map[col_idx] = np.arange(col_idx.shape[0])
+        out_rows, out_cols, out_vals = [], [], []
+        for new_r, old_r in enumerate(row_idx):
+            start, stop = self.indptr[old_r], self.indptr[old_r + 1]
+            cols = self.indices[start:stop]
+            keep = col_map[cols] >= 0
+            kept_cols = col_map[cols[keep]]
+            out_rows.append(np.full(kept_cols.shape[0], new_r, dtype=np.int64))
+            out_cols.append(kept_cols)
+            if self.values is not None:
+                out_vals.append(self.values[start:stop][keep])
+        rows = np.concatenate(out_rows) if out_rows else np.empty(0, np.int64)
+        cols = np.concatenate(out_cols) if out_cols else np.empty(0, np.int64)
+        vals = None
+        if self.values is not None:
+            vals = np.concatenate(out_vals) if out_vals else np.empty(0)
+        return CSRMatrix.from_coo(
+            rows, cols, vals, (row_idx.shape[0], col_idx.shape[0]),
+            sum_duplicates=False,
+        )
+
+    def scale_rows(self, d: np.ndarray) -> "CSRMatrix":
+        """Return diag(d) @ self as a weighted CSR matrix."""
+        d = np.asarray(d, dtype=np.float64)
+        if d.shape != (self.shape[0],):
+            raise ValueError("row scaling vector has wrong length")
+        vals = self.effective_values() * np.repeat(d, self.row_degrees())
+        return self.with_values(vals)
+
+    def scale_cols(self, d: np.ndarray) -> "CSRMatrix":
+        """Return self @ diag(d) as a weighted CSR matrix."""
+        d = np.asarray(d, dtype=np.float64)
+        if d.shape != (self.shape[1],):
+            raise ValueError("column scaling vector has wrong length")
+        vals = self.effective_values() * d[self.indices]
+        return self.with_values(vals)
+
+    def bandwidth(self) -> int:
+        """Maximum |row - col| over stored entries (a locality feature)."""
+        if self.nnz == 0:
+            return 0
+        return int(np.max(np.abs(self.row_ids() - self.indices)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        if self.shape != other.shape or self.nnz != other.nnz:
+            return False
+        if not (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        ):
+            return False
+        if (self.values is None) != (other.values is None):
+            return False
+        if self.values is None:
+            return True
+        return np.allclose(self.values, other.values)
+
+    __hash__ = None  # mutable-ish container
+
+
+class DiagonalMatrix:
+    """A diagonal matrix stored as its diagonal vector.
+
+    The paper's IR rewrite (Appendix C) replaces row-broadcast operations
+    with multiplications by diagonal matrices, which is what unlocks the
+    SDDMM-based normalization precomputation for GCN.  This class is the
+    runtime value backing those IR leaves.
+    """
+
+    __slots__ = ("diag",)
+
+    def __init__(self, diag: np.ndarray) -> None:
+        diag = np.asarray(diag, dtype=np.float64)
+        if diag.ndim != 1:
+            raise ValueError("diagonal must be a vector")
+        self.diag = diag
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        n = self.diag.shape[0]
+        return (n, n)
+
+    @property
+    def n(self) -> int:
+        return self.diag.shape[0]
+
+    def to_dense(self) -> np.ndarray:
+        return np.diag(self.diag)
+
+    def to_csr(self) -> CSRMatrix:
+        return CSRMatrix.eye(self.n, self.diag)
+
+    def inv(self) -> "DiagonalMatrix":
+        """Pseudo-inverse: zeros on the diagonal stay zero."""
+        out = np.zeros_like(self.diag)
+        nz = self.diag != 0
+        out[nz] = 1.0 / self.diag[nz]
+        return DiagonalMatrix(out)
+
+    def power(self, p: float) -> "DiagonalMatrix":
+        """Element-wise power, mapping 0 -> 0 (used for D^(-1/2))."""
+        out = np.zeros_like(self.diag)
+        nz = self.diag != 0
+        out[nz] = np.power(self.diag[nz], p)
+        return DiagonalMatrix(out)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DiagonalMatrix(n={self.n})"

@@ -1,0 +1,35 @@
+"""Loss functions for node-classification training."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .ops import log_softmax
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "nll_loss", "mse_loss"]
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+    """Negative log-likelihood of integer labels, averaged over (masked) rows."""
+    labels = np.asarray(labels, dtype=np.int64)
+    n = log_probs.data.shape[0]
+    if labels.shape != (n,):
+        raise ValueError("labels must be one integer per row")
+    rows = np.arange(n) if mask is None else np.flatnonzero(mask)
+    if rows.size == 0:
+        raise ValueError("loss mask selects no rows")
+    picked = log_probs[(rows, labels[rows])]
+    return -picked.sum() * (1.0 / rows.size)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+    """Softmax cross-entropy from raw logits."""
+    return nll_loss(log_softmax(logits, axis=-1), labels, mask)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).sum() * (1.0 / pred.data.size)

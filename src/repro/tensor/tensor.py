@@ -1,0 +1,270 @@
+"""A NumPy-backed reverse-mode autograd engine.
+
+This is the reproduction's stand-in for PyTorch: the smallest tensor
+library that supports training the paper's five GNN models (GCN, GIN, SGC,
+TAGCN, GAT).  Forward passes build a DAG of :class:`Tensor` nodes; calling
+:meth:`Tensor.backward` on a scalar loss runs a topological-order sweep of
+the recorded backward closures.
+
+Only the dense operations live here.  The sparse operations that give GNNs
+their structure (SpMM over a fixed adjacency, SDDMM, edge softmax) are in
+:mod:`repro.tensor.sparse_ops` so the dependency points from sparse to
+dense, never back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = [True]
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        self._prev = _GRAD_ENABLED[0]
+        _GRAD_ENABLED[0] = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _GRAD_ENABLED[0] = self._prev
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED[0]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum a broadcasted gradient back down to ``shape``."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A node in the autograd graph wrapping a ``float64`` ndarray."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        op: str = "",
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = tuple(_parents) if self.requires_grad else ()
+        self.op = op
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(value: Union["Tensor", float, int, np.ndarray]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @staticmethod
+    def make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        """Create a result tensor, recording the backward closure when any
+        parent requires grad and grad mode is on."""
+        needs = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=needs, _parents=parents if needs else (), op=op)
+        if needs:
+            out._backward = backward
+        return out
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Shape & basics
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        flag = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag}, op={self.op!r})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad)
+            other.accumulate_grad(grad)
+
+        return Tensor.make(self.data + other.data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(-grad)
+
+        return Tensor.make(-self.data, (self,), backward, "neg")
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-Tensor._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor._lift(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad * other.data)
+            other.accumulate_grad(grad * self.data)
+
+        return Tensor.make(self.data * other.data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad / other.data)
+            other.accumulate_grad(-grad * self.data / (other.data ** 2))
+
+        return Tensor.make(self.data / other.data, (self, other), backward, "div")
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad @ other.data.T)
+            other.accumulate_grad(self.data.T @ grad)
+
+        return Tensor.make(self.data @ other.data, (self, other), backward, "matmul")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor.make(self.data ** exponent, (self,), backward, "pow")
+
+    # ------------------------------------------------------------------
+    # Reductions & reshapes
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self.accumulate_grad(np.broadcast_to(g, self.data.shape))
+
+        return Tensor.make(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward, "sum"
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad.reshape(self.data.shape))
+
+        return Tensor.make(self.data.reshape(shape), (self,), backward, "reshape")
+
+    @property
+    def T(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self.accumulate_grad(grad.T)
+
+        return Tensor.make(self.data.T, (self,), backward, "transpose")
+
+    def __getitem__(self, idx) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, idx, grad)
+            self.accumulate_grad(full)
+
+        return Tensor.make(self.data[idx], (self,), backward, "getitem")
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(node: Tensor) -> None:
+            stack = [(node, iter(node._parents))]
+            visited.add(id(node))
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited and parent.requires_grad:
+                        visited.add(id(parent))
+                        stack.append((parent, iter(parent._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    topo.append(current)
+                    stack.pop()
+
+        visit(self)
+        self.accumulate_grad(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)

@@ -1,0 +1,49 @@
+"""Shared test utilities: random sparse matrices and graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse import CSRMatrix
+
+
+def random_csr(
+    rng: np.random.Generator,
+    nrows: int,
+    ncols: int,
+    density: float = 0.1,
+    weighted: bool = True,
+) -> CSRMatrix:
+    """A random CSR matrix with approximately the requested density."""
+    nnz_target = max(0, int(round(density * nrows * ncols)))
+    if nnz_target == 0:
+        return CSRMatrix(
+            np.zeros(nrows + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0) if weighted else None,
+            (nrows, ncols),
+        )
+    rows = rng.integers(0, nrows, size=nnz_target)
+    cols = rng.integers(0, ncols, size=nnz_target)
+    vals = rng.standard_normal(nnz_target) if weighted else None
+    mat = CSRMatrix.from_coo(rows, cols, vals, (nrows, ncols))
+    if not weighted:
+        mat = mat.unweighted()
+    return mat
+
+
+def random_symmetric_csr(
+    rng: np.random.Generator, n: int, density: float = 0.05, weighted: bool = False
+) -> CSRMatrix:
+    """A random symmetric-pattern square CSR matrix (undirected adjacency)."""
+    m = max(1, int(round(density * n * n / 2)))
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    rows = np.concatenate([src, dst])
+    cols = np.concatenate([dst, src])
+    vals = None
+    if weighted:
+        w = rng.random(m) + 0.1
+        vals = np.concatenate([w, w])
+    mat = CSRMatrix.from_coo(rows, cols, vals, (n, n))
+    return mat if weighted else mat.unweighted()

@@ -1,0 +1,33 @@
+"""Tests for the `python -m repro.experiments` command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import ARTIFACTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_unknown_artifact_errors(self):
+        with pytest.raises(SystemExit):
+            main(["flux_capacitor"])
+
+    def test_runs_fast_artifact(self, capsys):
+        assert main(["enumstats"]) == 0
+        out = capsys.readouterr().out
+        assert "Enumeration" in out
+        assert "GAT" in out
+
+    def test_scaled_artifact_with_output(self, capsys, tmp_path):
+        assert main(["fig3", "--output", str(tmp_path)]) == 0
+        assert (tmp_path / "fig3.txt").exists()
+        text = (tmp_path / "fig3.txt").read_text()
+        assert "O(E)" in text
+
+    def test_scale_flag_accepted(self, capsys):
+        assert main(["fig2", "--scale", "small"]) == 0
+        assert "sparse" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Edge-case coverage across layers: rarely-hit branches and boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import ShapeEnv, compile_model, emit_python_source
+from repro.graphs import Graph, erdos_renyi
+from repro.kernels import KernelCall, gspmm, get_semiring
+from repro.sparse import CSRMatrix
+from repro.tensor import Tensor, cross_entropy
+
+
+class TestSparseEdgeCases:
+    def test_from_dense_keep_explicit_zeros(self):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+        mat = CSRMatrix.from_dense(dense, keep_explicit_zeros=True)
+        assert mat.nnz == 4  # zeros stored explicitly
+        assert np.allclose(mat.to_dense(), dense)
+
+    def test_bandwidth_empty(self):
+        mat = CSRMatrix(np.zeros(4, dtype=np.int64), [], None, (3, 3))
+        assert mat.bandwidth() == 0
+
+    def test_single_node_graph(self):
+        g = Graph(CSRMatrix(np.zeros(2, dtype=np.int64), [], None, (1, 1)))
+        assert g.avg_degree == 0.0
+        assert g.adj_with_self_loops().nnz == 1
+
+    def test_gspmm_k_equals_one(self, rng):
+        adj = CSRMatrix.from_coo([0, 1], [1, 0], [2.0, 3.0], (2, 2))
+        out = gspmm(adj, np.array([[1.0], [1.0]]), get_semiring())
+        assert np.allclose(out, [[2.0], [3.0]])
+
+    def test_equality_against_other_types(self):
+        mat = CSRMatrix.eye(2)
+        assert (mat == 42) is NotImplemented or mat != 42
+
+
+class TestTensorEdgeCases:
+    def test_scalar_tensor_arithmetic(self):
+        t = Tensor(3.0, requires_grad=True)
+        (t * t).backward()
+        assert np.allclose(t.grad, 6.0)
+
+    def test_cross_entropy_single_row(self):
+        logits = Tensor(np.array([[2.0, 0.0]]), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0]))
+        loss.backward()
+        assert logits.grad is not None
+        assert loss.item() < 0.2
+
+    def test_matmul_vector_result(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        v = Tensor(rng.standard_normal(4))
+        out = a @ v
+        assert out.shape == (3,)
+
+    def test_reshape_minus_one(self, rng):
+        t = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        assert t.reshape(-1, 3).shape == (4, 3)
+
+
+class TestCompiledModelEdgeCases:
+    @pytest.mark.parametrize("name,kwargs", [
+        ("sage", {}), ("appnp", {"hops": 2}), ("sgc", {"hops": 1}),
+    ])
+    def test_emit_source_compiles_for_all_models(self, name, kwargs):
+        source = emit_python_source(compile_model(name, **kwargs))
+        compile(source, f"<granii:{name}>", "exec")
+        assert "in_size >= out_size" in source
+
+    def test_pruned_count_consistent(self):
+        for name in ("gcn", "gat", "gin"):
+            compiled = compile_model(name)
+            assert compiled.pruned_count == (
+                compiled.enumerated_count - len(compiled.promoted)
+            )
+
+    def test_sgc_single_hop_matches_gcn_shape(self):
+        # hops=1 SGC is structurally a GCN without the nonlinearity
+        sgc = compile_model("sgc", hops=1)
+        gcn = compile_model("gcn", activation=False)
+        assert len(sgc.promoted) == len(gcn.promoted)
+
+    def test_shape_env_rejects_unknown_symbol(self):
+        env = ShapeEnv({"N": 10})
+        with pytest.raises(KeyError):
+            env.resolve("Q")
+
+    def test_kernel_call_rejects_future_primitive(self):
+        with pytest.raises(KeyError):
+            KernelCall("tensor_core_magic", {})
+
+
+class TestGraphEdgeCases:
+    def test_self_loop_only_graph_features(self):
+        adj = CSRMatrix.eye(5).unweighted()
+        # eye has loops; strip them to get an empty pattern
+        from repro.graphs import graph_feature_vector
+
+        g = Graph(adj)
+        vec = graph_feature_vector(g)
+        assert np.all(np.isfinite(vec))
+
+    def test_mp_graph_wrap_caching(self, rng):
+        from repro.models import GCNLayer
+
+        g = erdos_renyi(10, 3, seed=51)
+        layer = GCNLayer(4, 2, rng=rng)
+        wrapped1 = layer.as_mp_graph(g)
+        wrapped2 = layer.as_mp_graph(g)
+        assert wrapped1 is wrapped2  # cached on the Graph object

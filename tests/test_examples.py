@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs to completion at small scale.
+
+The examples carry their own assertions (output equivalence, accuracy
+floors); running them under ``REPRO_SCALE=small`` keeps them fast while
+still executing every code path they demonstrate.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_all_examples_present():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    env = dict(os.environ, REPRO_SCALE="small")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )

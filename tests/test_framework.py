@@ -1,0 +1,151 @@
+"""Tests for the message-passing engine and system personalities."""
+
+import numpy as np
+import pytest
+
+from repro.framework import MPGraph, fn, get_system, SYSTEM_NAMES
+from repro.kernels import KernelCall
+from repro.tensor import Tensor
+
+from helpers import random_csr
+
+
+@pytest.fixture
+def mpg(rng):
+    adj = random_csr(rng, 12, 12, density=0.25, weighted=False)
+    return MPGraph(adj)
+
+
+class TestMPGraph:
+    def test_update_all_copy_u_sum(self, mpg, rng):
+        x = rng.standard_normal((12, 4))
+        mpg.set_ndata("h", Tensor(x))
+        mpg.update_all(fn.copy_u("h", "m"), fn.sum("m", "h"))
+        pattern = (mpg.adj.to_dense() != 0).astype(float)
+        assert np.allclose(mpg.ndata["h"].data, pattern @ x)
+
+    def test_update_all_u_mul_e(self, mpg, rng):
+        x = rng.standard_normal((12, 3))
+        e = rng.random(mpg.num_edges)
+        mpg.set_ndata("h", Tensor(x))
+        mpg.set_edata("w", Tensor(e))
+        mpg.update_all(fn.u_mul_e("h", "w", "m"), fn.sum("m", "out"))
+        weighted = mpg.adj.with_values(e).to_dense()
+        assert np.allclose(mpg.ndata["out"].data, weighted @ x)
+
+    def test_update_all_copy_e(self, mpg, rng):
+        e = rng.random(mpg.num_edges)
+        mpg.set_edata("w", Tensor(e))
+        mpg.update_all(fn.copy_e("w", "m"), fn.sum("m", "s"))
+        expected = mpg.adj.with_values(e).to_dense().sum(axis=1, keepdims=True)
+        assert np.allclose(mpg.ndata["s"].data, expected)
+
+    def test_field_mismatch_rejected(self, mpg, rng):
+        mpg.set_ndata("h", Tensor(rng.standard_normal((12, 2))))
+        with pytest.raises(ValueError):
+            mpg.update_all(fn.copy_u("h", "m"), fn.sum("other", "h"))
+
+    def test_max_reduce_matches_dense(self, mpg, rng):
+        x = rng.standard_normal((12, 2))
+        mpg.set_ndata("h", Tensor(x))
+        mpg.update_all(fn.copy_u("h", "m"), fn.max("m", "out"))
+        out = mpg.ndata["out"].data
+        pattern = mpg.adj.to_dense() != 0
+        for i in range(12):
+            neigh = np.flatnonzero(pattern[i])
+            if neigh.size:
+                assert np.allclose(out[i], x[neigh].max(axis=0))
+            else:
+                assert np.all(out[i] == -np.inf)
+
+    def test_mean_reduce_matches_dense(self, mpg, rng):
+        x = rng.standard_normal((12, 3))
+        mpg.set_ndata("h", Tensor(x))
+        mpg.update_all(fn.copy_u("h", "m"), fn.mean("m", "out"))
+        out = mpg.ndata["out"].data
+        pattern = mpg.adj.to_dense() != 0
+        for i in range(12):
+            neigh = np.flatnonzero(pattern[i])
+            expected = x[neigh].mean(axis=0) if neigh.size else np.zeros(3)
+            assert np.allclose(out[i], expected)
+
+    def test_mean_reduce_with_edge_values(self, mpg, rng):
+        x = rng.standard_normal((12, 2))
+        e = rng.random(mpg.num_edges)
+        mpg.set_ndata("h", Tensor(x))
+        mpg.set_edata("w", Tensor(e))
+        mpg.update_all(fn.u_mul_e("h", "w", "m"), fn.mean("m", "out"))
+        assert np.all(np.isfinite(mpg.ndata["out"].data))
+
+    def test_apply_edges_u_add_v(self, mpg, rng):
+        dst_score = rng.standard_normal(12)
+        src_score = rng.standard_normal(12)
+        mpg.set_ndata("el", Tensor(dst_score))
+        mpg.set_ndata("er", Tensor(src_score))
+        mpg.apply_edges(fn.u_add_v("er", "el", "e"))
+        rows, cols = mpg.adj.row_ids(), mpg.adj.indices
+        assert np.allclose(mpg.edata["e"].data, dst_score[rows] + src_score[cols])
+
+    def test_edge_softmax_normalises(self, mpg, rng):
+        mpg.set_edata("e", Tensor(rng.standard_normal(mpg.num_edges)))
+        mpg.edge_softmax("e", "a")
+        sums = np.bincount(
+            mpg.adj.row_ids(), weights=mpg.edata["a"].data, minlength=12
+        )
+        deg = mpg.adj.row_degrees()
+        assert np.allclose(sums[deg > 0], 1.0)
+
+    def test_set_data_validation(self, mpg):
+        with pytest.raises(ValueError):
+            mpg.set_ndata("h", np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            mpg.set_edata("e", np.zeros(mpg.num_edges + 2))
+
+    def test_local_scope_restores(self, mpg, rng):
+        mpg.set_ndata("h", Tensor(rng.standard_normal((12, 2))))
+        with mpg.local_scope() as g:
+            g.set_ndata("tmp", Tensor(np.zeros((12, 1))))
+            assert "tmp" in g.ndata
+        assert "tmp" not in mpg.ndata
+        assert "h" in mpg.ndata
+
+    def test_gradients_flow_through_update_all(self, mpg, rng):
+        x = Tensor(rng.standard_normal((12, 3)), requires_grad=True)
+        mpg.set_ndata("h", x)
+        mpg.update_all(fn.copy_u("h", "m"), fn.sum("m", "out"))
+        mpg.ndata["out"].sum().backward()
+        pattern = (mpg.adj.to_dense() != 0).astype(float)
+        assert np.allclose(x.grad, pattern.T @ np.ones((12, 3)))
+
+
+class TestSystems:
+    def test_lookup(self):
+        assert set(SYSTEM_NAMES) == {"dgl", "wisegraph"}
+        assert get_system("DGL").name == "dgl"
+        with pytest.raises(KeyError):
+            get_system("pyg")
+
+    def test_dgl_defaults(self):
+        dgl = get_system("dgl")
+        assert dgl.degree_method == "indptr"
+        # DGL's GCN applies config reordering, its GIN/SGC do not (§VI-C1)
+        assert dgl.default_gemm_first("gcn", 1024, 32)
+        assert not dgl.default_gemm_first("gin", 1024, 32)
+        assert not dgl.default_gemm_first("sgc", 1024, 32)
+        assert not dgl.default_gat_recompute(32, 1024)  # always reuses
+
+    def test_wisegraph_defaults(self):
+        wise = get_system("wisegraph")
+        assert wise.degree_method == "binning"
+        assert wise.default_gemm_first("gin", 1024, 32)
+        assert not wise.default_gemm_first("gin", 32, 1024)
+        assert wise.default_gat_recompute(32, 1024)
+        assert not wise.default_gat_recompute(1024, 32)
+
+    def test_efficiency_factors(self):
+        wise = get_system("wisegraph")
+        spmm = KernelCall("spmm", {"m": 10, "nnz": 100, "k": 4})
+        gemm = KernelCall("gemm", {"m": 10, "k": 4, "n": 4})
+        assert wise.efficiency(spmm) < 1.0
+        assert get_system("dgl").efficiency(spmm) == 1.0
+        assert wise.efficiency(gemm) <= 1.0

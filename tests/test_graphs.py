@@ -1,0 +1,214 @@
+"""Tests for the graph container, generators, datasets and features."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    EVALUATION_CODES,
+    Graph,
+    complete,
+    erdos_renyi,
+    graph_feature_dict,
+    graph_feature_vector,
+    GRAPH_FEATURE_NAMES,
+    load,
+    load_all,
+    make_node_features,
+    mycielskian,
+    overlapping_cliques,
+    path,
+    rmat,
+    road_mesh,
+    sbm_communities,
+    star,
+    train_val_test_masks,
+    training_graphs,
+    barabasi_albert,
+)
+from repro.sparse import CSRMatrix
+
+
+class TestGraphContainer:
+    def test_requires_square(self, rng):
+        with pytest.raises(ValueError):
+            Graph(CSRMatrix.from_coo([0], [1], None, (2, 3)))
+
+    def test_basic_properties(self):
+        g = path(10)
+        assert g.num_nodes == 10
+        assert g.num_edges == 18  # 9 undirected edges stored both ways
+        assert g.avg_degree == pytest.approx(1.8)
+        assert g.is_undirected()
+
+    def test_self_loops_cached(self):
+        g = path(5)
+        assert g.adj_with_self_loops() is g.adj_with_self_loops()
+        assert g.adj_with_self_loops().nnz == g.num_edges + 5
+
+    def test_with_features_validates(self):
+        g = path(4)
+        with pytest.raises(ValueError):
+            g.with_features(np.zeros((3, 2)))
+        g2 = g.with_features(np.zeros((4, 2)))
+        assert g2.node_features.shape == (4, 2)
+
+    def test_induced_subgraph(self):
+        g = complete(6)
+        sub = g.induced_subgraph(np.array([0, 1, 2]))
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 6  # K3 both directions
+
+
+class TestGenerators:
+    def test_no_self_loops_anywhere(self):
+        for g in [
+            erdos_renyi(50, 4, seed=1),
+            rmat(64, 8, seed=1),
+            road_mesh(64, seed=1),
+            overlapping_cliques(50, 5, seed=1),
+            sbm_communities(60, 4, 6, seed=1),
+            barabasi_albert(40, 3, seed=1),
+        ]:
+            assert not np.any(g.adj.row_ids() == g.adj.indices), g.name
+
+    def test_all_symmetric(self):
+        for g in [
+            erdos_renyi(50, 4, seed=2),
+            rmat(64, 8, seed=2),
+            road_mesh(64, seed=2),
+            mycielskian(6),
+            star(10),
+        ]:
+            assert g.is_undirected(), g.name
+
+    def test_mycielskian_sizes(self):
+        # n_k = 3 * 2^(k-2) - 1
+        for k, expected_n in [(2, 2), (3, 5), (4, 11), (5, 23)]:
+            assert mycielskian(k).num_nodes == expected_n
+
+    def test_mycielskian_triangle_free(self):
+        g = mycielskian(5)
+        a = g.adj.to_dense()
+        assert np.trace(a @ a @ a) == 0  # no triangles
+
+    def test_mycielskian_invalid_k(self):
+        with pytest.raises(ValueError):
+            mycielskian(1)
+
+    def test_rmat_skewed_degrees(self):
+        uniform = erdos_renyi(512, 16, seed=3)
+        skewed = rmat(512, 16, seed=3)
+        assert skewed.degrees().max() > uniform.degrees().max()
+
+    def test_rmat_invalid_probs(self):
+        with pytest.raises(ValueError):
+            rmat(64, 4, a=0.9, b=0.2, c=0.2)
+
+    def test_road_mesh_low_uniform_degree(self):
+        g = road_mesh(400, diagonal_prob=0.0, seed=0)
+        assert g.degrees().max() <= 4
+
+    def test_barabasi_albert_validates(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+
+    def test_star_degrees(self):
+        g = star(8)
+        assert g.degrees().max() == 7
+        assert (g.degrees() == 1).sum() == 7
+
+    def test_complete_density(self):
+        g = complete(10)
+        assert g.num_edges == 90
+
+    def test_sbm_has_labels(self):
+        g = sbm_communities(100, 5, 8, seed=4)
+        assert g.labels is not None
+        assert set(np.unique(g.labels)) <= set(range(5))
+
+    def test_generators_deterministic(self):
+        a = rmat(128, 8, seed=42)
+        b = rmat(128, 8, seed=42)
+        assert a.adj == b.adj
+
+
+class TestDatasets:
+    def test_all_codes_load_small(self):
+        graphs = load_all(scale="small")
+        assert len(graphs) == len(EVALUATION_CODES) == 6
+        for g in graphs:
+            assert g.num_nodes > 0
+            assert g.is_undirected()
+
+    def test_cache_returns_same_object(self):
+        assert load("RD", "small") is load("RD", "small")
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            load("XX")
+        with pytest.raises(KeyError):
+            load("RD", scale="giant")
+
+    def test_density_ordering_matches_structure(self):
+        # MC must be by far the densest; BL the sparsest.
+        graphs = {code: load(code, "small") for code in EVALUATION_CODES}
+        densities = {code: g.density for code, g in graphs.items()}
+        assert densities["MC"] == max(densities.values())
+        assert densities["BL"] == min(densities.values())
+
+    def test_training_pool_disjoint_from_eval(self):
+        eval_names = {g.name for g in load_all("small")}
+        train_names = {g.name for g in training_graphs("small")}
+        assert not eval_names & train_names
+        assert len(train_names) >= 8
+
+    def test_make_node_features_learnable(self):
+        g = load("CA", "small")
+        feats, labels = make_node_features(g, dim=16, seed=0)
+        assert feats.shape == (g.num_nodes, 16)
+        assert labels.shape == (g.num_nodes,)
+        # Class-conditional means should separate: nearest-centroid beats chance.
+        centroids = np.stack(
+            [feats[labels == c].mean(axis=0) for c in np.unique(labels)]
+        )
+        pred = np.argmin(
+            ((feats[:, None, :] - centroids[None]) ** 2).sum(-1), axis=1
+        )
+        acc = (np.unique(labels)[pred] == labels).mean()
+        assert acc > 1.5 / len(np.unique(labels))
+
+    def test_masks_partition(self):
+        train, val, test = train_val_test_masks(100, seed=1)
+        assert (train.astype(int) + val + test == 1).all()
+
+
+class TestFeatures:
+    def test_feature_vector_aligned_with_names(self):
+        g = load("RD", "small")
+        vec = graph_feature_vector(g)
+        d = graph_feature_dict(g)
+        assert vec.shape == (len(GRAPH_FEATURE_NAMES),)
+        for i, name in enumerate(GRAPH_FEATURE_NAMES):
+            assert vec[i] == d[name]
+
+    def test_density_feature_separates_graphs(self):
+        dense = graph_feature_dict(load("MC", "small"))
+        sparse = graph_feature_dict(load("BL", "small"))
+        assert dense["log_density"] > sparse["log_density"]
+
+    def test_skew_features(self):
+        skewed = graph_feature_dict(star(200))
+        flat = graph_feature_dict(path(200))
+        assert skewed["degree_gini"] > flat["degree_gini"]
+        assert skewed["max_degree_ratio"] > flat["max_degree_ratio"]
+        assert skewed["row_imbalance"] > flat["row_imbalance"]
+
+    def test_empty_graph_features_finite(self):
+        g = Graph(CSRMatrix(np.zeros(6, dtype=np.int64), [], None, (5, 5)))
+        vec = graph_feature_vector(g)
+        assert np.all(np.isfinite(vec))
+
+    def test_mesh_has_low_bandwidth(self):
+        mesh = graph_feature_dict(road_mesh(400, seed=0))
+        rand = graph_feature_dict(erdos_renyi(400, 4, seed=0))
+        assert mesh["bandwidth_ratio"] < rand["bandwidth_ratio"]

@@ -1,0 +1,120 @@
+"""Unit tests for g-SDDMM and edge softmax."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import edge_softmax, gsddmm, sddmm, sddmm_diag_scale
+from repro.sparse import CSRMatrix, DiagonalMatrix
+
+from helpers import random_csr
+
+
+class TestSDDMM:
+    def test_matches_masked_matmul(self, rng):
+        mask = random_csr(rng, 7, 9, density=0.3, weighted=False)
+        a = rng.standard_normal((7, 4))
+        b = rng.standard_normal((4, 9))
+        out = sddmm(mask, a, b)
+        pattern = (mask.to_dense() != 0).astype(float)
+        assert np.allclose(out.to_dense(), pattern * (a @ b))
+
+    def test_weighted_mask_scales(self, rng):
+        mask = random_csr(rng, 5, 5, density=0.4, weighted=True)
+        a = rng.standard_normal((5, 3))
+        b = rng.standard_normal((3, 5))
+        out = sddmm(mask, a, b)
+        assert np.allclose(out.to_dense(), mask.to_dense() * (a @ b))
+
+    def test_shape_checks(self, rng):
+        mask = random_csr(rng, 4, 4)
+        with pytest.raises(ValueError):
+            sddmm(mask, np.ones((4, 2)), np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            sddmm(mask, np.ones((5, 2)), np.ones((2, 4)))
+
+    def test_diag_scale_matches_dense(self, rng):
+        mask = random_csr(rng, 6, 6, density=0.4, weighted=False)
+        left = DiagonalMatrix(rng.random(6) + 0.5)
+        right = DiagonalMatrix(rng.random(6) + 0.5)
+        out = sddmm_diag_scale(mask, left, right)
+        pattern = (mask.to_dense() != 0).astype(float)
+        expected = left.to_dense() @ pattern @ right.to_dense()
+        assert np.allclose(out.to_dense(), expected)
+
+    def test_diag_scale_size_check(self, rng):
+        mask = random_csr(rng, 4, 4)
+        with pytest.raises(ValueError):
+            sddmm_diag_scale(mask, DiagonalMatrix(np.ones(3)), DiagonalMatrix(np.ones(4)))
+
+
+class TestGSDDMM:
+    def test_dot(self, rng):
+        mask = random_csr(rng, 6, 6, density=0.3, weighted=False)
+        u = rng.standard_normal((6, 4))
+        v = rng.standard_normal((6, 4))
+        out = gsddmm(mask, u, v, op="dot")
+        rows, cols = mask.row_ids(), mask.indices
+        expected = np.array([u[r] @ v[c] for r, c in zip(rows, cols)])
+        assert np.allclose(out, expected)
+
+    @pytest.mark.parametrize("op", ["add", "mul", "sub"])
+    def test_elementwise_ops(self, rng, op):
+        mask = random_csr(rng, 5, 5, density=0.4, weighted=False)
+        u = rng.standard_normal((5, 2))
+        v = rng.standard_normal((5, 2))
+        out = gsddmm(mask, u, v, op=op)
+        rows, cols = mask.row_ids(), mask.indices
+        fn = {"add": np.add, "mul": np.multiply, "sub": np.subtract}[op]
+        assert np.allclose(out, fn(u[rows], v[cols]))
+
+    def test_copy_ops(self, rng):
+        mask = random_csr(rng, 5, 5, density=0.4, weighted=False)
+        u = rng.standard_normal((5, 2))
+        v = rng.standard_normal((5, 2))
+        assert np.allclose(gsddmm(mask, u, v, "copy_lhs"), u[mask.row_ids()])
+        assert np.allclose(gsddmm(mask, u, v, "copy_rhs"), v[mask.indices])
+
+    def test_unknown_op(self, rng):
+        with pytest.raises(ValueError):
+            gsddmm(random_csr(rng, 3, 3), np.ones((3, 1)), np.ones((3, 1)), "xor")
+
+
+class TestEdgeSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        adj = random_csr(rng, 10, 10, density=0.3, weighted=False)
+        logits = rng.standard_normal(adj.nnz)
+        alpha = edge_softmax(adj, logits)
+        sums = np.add.reduceat(
+            alpha.values, np.minimum(adj.indptr[:-1], max(adj.nnz - 1, 0))
+        )
+        deg = adj.row_degrees()
+        assert np.allclose(sums[deg > 0], 1.0)
+
+    def test_matches_dense_softmax(self, rng):
+        adj = random_csr(rng, 6, 6, density=0.5, weighted=False)
+        logits = rng.standard_normal(adj.nnz)
+        alpha = edge_softmax(adj, logits).to_dense()
+        dense_logits = np.full((6, 6), -np.inf)
+        dense_logits[adj.row_ids(), adj.indices] = logits
+        with np.errstate(invalid="ignore"):
+            e = np.exp(dense_logits - np.nanmax(np.where(np.isfinite(dense_logits), dense_logits, np.nan), axis=1, initial=-np.inf, keepdims=True))
+        e[~np.isfinite(dense_logits)] = 0.0
+        denom = e.sum(axis=1, keepdims=True)
+        expected = np.divide(e, denom, out=np.zeros_like(e), where=denom > 0)
+        assert np.allclose(alpha, expected)
+
+    def test_numerical_stability_large_logits(self, rng):
+        adj = random_csr(rng, 5, 5, density=0.5, weighted=False)
+        logits = rng.standard_normal(adj.nnz) + 1e4
+        alpha = edge_softmax(adj, logits)
+        assert np.all(np.isfinite(alpha.values))
+
+    def test_logit_count_validated(self, rng):
+        adj = random_csr(rng, 4, 4, density=0.4, weighted=False)
+        with pytest.raises(ValueError):
+            edge_softmax(adj, np.zeros(adj.nnz + 1))
+
+    def test_empty_rows_ok(self):
+        adj = CSRMatrix.from_coo([0, 0], [0, 1], None, (3, 3))
+        alpha = edge_softmax(adj, np.array([0.0, 0.0]))
+        assert np.allclose(alpha.values, [0.5, 0.5])

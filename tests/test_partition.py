@@ -1,0 +1,95 @@
+"""Tests for the partitioning/reordering substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    bfs_partition,
+    complete,
+    degree_reorder,
+    edge_cut_fraction,
+    erdos_renyi,
+    estimate_partition_efficiency,
+    load,
+    partition_balance,
+    road_mesh,
+    star,
+)
+
+
+class TestBFSPartition:
+    def test_covers_all_nodes(self, rng):
+        g = erdos_renyi(100, 6, seed=1)
+        membership = bfs_partition(g, 4)
+        assert membership.shape == (100,)
+        assert set(np.unique(membership)) == {0, 1, 2, 3}
+
+    def test_balanced(self):
+        g = erdos_renyi(200, 6, seed=2)
+        membership = bfs_partition(g, 4)
+        assert partition_balance(membership, 4) < 1.2
+
+    def test_single_part(self):
+        g = erdos_renyi(30, 4, seed=3)
+        membership = bfs_partition(g, 1)
+        assert np.all(membership == 0)
+        assert edge_cut_fraction(g, membership) == 0.0
+
+    def test_more_parts_than_nodes(self):
+        g = complete(4)
+        membership = bfs_partition(g, 10)
+        assert membership.max() < 10
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            bfs_partition(complete(4), 0)
+
+    def test_deterministic_with_seed(self):
+        g = erdos_renyi(80, 5, seed=4)
+        assert np.array_equal(bfs_partition(g, 4, seed=7), bfs_partition(g, 4, seed=7))
+
+    def test_mesh_cuts_fewer_edges_than_expander(self):
+        # BFS partitioning exploits locality: a road mesh partitions far
+        # better than a random graph of the same size/degree
+        mesh = road_mesh(400, seed=0)
+        rand = erdos_renyi(mesh.num_nodes, mesh.avg_degree, seed=0)
+        mesh_cut = edge_cut_fraction(mesh, bfs_partition(mesh, 8))
+        rand_cut = edge_cut_fraction(rand, bfs_partition(rand, 8))
+        assert mesh_cut < rand_cut
+
+
+class TestMetrics:
+    def test_edge_cut_bounds(self):
+        g = erdos_renyi(60, 5, seed=5)
+        membership = bfs_partition(g, 3)
+        cut = edge_cut_fraction(g, membership)
+        assert 0.0 <= cut <= 1.0
+
+    def test_edge_cut_validates_length(self):
+        g = erdos_renyi(10, 3, seed=6)
+        with pytest.raises(ValueError):
+            edge_cut_fraction(g, np.zeros(5, dtype=int))
+
+    def test_degree_reorder(self):
+        g = star(20)
+        order = degree_reorder(g)
+        assert order[0] == 0  # the hub first
+        ascending = degree_reorder(g, descending=False)
+        assert ascending[-1] == 0
+
+
+class TestEfficiencyEstimate:
+    def test_in_plausible_range_on_eval_graphs(self):
+        # the wisegraph personality's sparse-efficiency constant (0.88)
+        # should be inside the range this model predicts across graphs
+        effs = [
+            estimate_partition_efficiency(load(code, "small"))
+            for code in ("BL", "CA", "MC")
+        ]
+        assert all(0.75 <= e <= 1.0 for e in effs)
+        assert min(effs) <= 0.9 <= max(effs) + 0.1
+
+    def test_locality_improves_efficiency(self):
+        mesh = road_mesh(400, seed=1)
+        rand = erdos_renyi(mesh.num_nodes, mesh.avg_degree, seed=1)
+        assert estimate_partition_efficiency(mesh) < estimate_partition_efficiency(rand)

@@ -1,0 +1,88 @@
+"""Serialization round-trips: trees, ensembles, cost-model sets."""
+
+import numpy as np
+import pytest
+
+from repro.core import load_cost_models, save_cost_models, train_cost_models
+from repro.core.costmodel import CostModelSet, get_cost_models, clear_cost_model_cache
+from repro.core.features import featurize_graph
+from repro.core.profiler import collect_profile
+from repro.graphs import load, training_graphs
+from repro.hardware import get_device
+from repro.kernels import KernelCall
+from repro.learn import GradientBoostedTrees, RegressionTree
+
+
+class TestTreeSerialization:
+    def test_round_trip_predictions(self, rng):
+        x = rng.standard_normal((200, 3))
+        y = np.sin(x[:, 0]) + x[:, 1] ** 2
+        tree = RegressionTree(max_depth=4).fit(x, y)
+        restored = RegressionTree.from_dict(tree.to_dict())
+        probe = rng.standard_normal((50, 3))
+        assert np.allclose(tree.predict(probe), restored.predict(probe))
+
+    def test_round_trip_is_json_safe(self, rng):
+        import json
+
+        x = rng.standard_normal((50, 2))
+        y = x[:, 0]
+        tree = RegressionTree(max_depth=3).fit(x, y)
+        blob = json.dumps(tree.to_dict())
+        restored = RegressionTree.from_dict(json.loads(blob))
+        assert np.allclose(tree.predict(x), restored.predict(x))
+
+
+class TestGBTSerialization:
+    def test_round_trip_predictions(self, rng):
+        x = rng.standard_normal((300, 4))
+        y = x[:, 0] * x[:, 1] + x[:, 2]
+        model = GradientBoostedTrees(num_rounds=40, max_depth=3).fit(x, y)
+        restored = GradientBoostedTrees.from_dict(model.to_dict())
+        probe = rng.standard_normal((30, 4))
+        assert np.allclose(model.predict(probe), restored.predict(probe))
+        assert restored.num_trees == model.num_trees
+
+    def test_round_trip_preserves_hyperparams(self, rng):
+        x = rng.standard_normal((50, 2))
+        y = x[:, 0]
+        model = GradientBoostedTrees(
+            num_rounds=10, learning_rate=0.2, max_depth=2, subsample=0.8, seed=3
+        ).fit(x, y)
+        restored = GradientBoostedTrees.from_dict(model.to_dict())
+        assert restored.learning_rate == 0.2
+        assert restored.subsample == 0.8
+
+
+@pytest.fixture(scope="module")
+def small_models():
+    device = get_device("h100")
+    dataset = collect_profile(
+        device, graphs=training_graphs("small")[:4], sizes=(32, 256)
+    )
+    return train_cost_models(device, dataset, num_rounds=20)
+
+
+class TestCostModelPersistence:
+    def test_save_load_round_trip(self, small_models, tmp_path):
+        path = tmp_path / "models.json"
+        save_cost_models(small_models, path)
+        restored = load_cost_models(path)
+        assert restored.device_name == small_models.device_name
+        assert restored.primitives == small_models.primitives
+        vec = featurize_graph(load("BL", "small"))
+        call = KernelCall("spmm", {"m": 500, "nnz": 3000, "k": 64})
+        assert restored.predict_call(call, vec) == pytest.approx(
+            small_models.predict_call(call, vec)
+        )
+
+    def test_disk_cache_used(self, small_models, tmp_path):
+        # pre-seed the disk cache, clear memory, and verify the loader path
+        path = tmp_path / "costmodels_h100_small.json"
+        save_cost_models(small_models, path)
+        clear_cost_model_cache()
+        try:
+            loaded = get_cost_models("h100", scale="small", cache_dir=tmp_path)
+            assert loaded.primitives == small_models.primitives
+        finally:
+            clear_cost_model_cache()  # leave no cross-test residue

@@ -1,0 +1,183 @@
+"""Unit tests for the CSR substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix, DiagonalMatrix
+
+from helpers import random_csr
+
+
+def small_weighted():
+    # [[0, 2, 0],
+    #  [1, 0, 3],
+    #  [0, 0, 0]]
+    return CSRMatrix(
+        indptr=[0, 1, 3, 3],
+        indices=[1, 0, 2],
+        values=[2.0, 1.0, 3.0],
+        shape=(3, 3),
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        mat = small_weighted()
+        assert mat.nnz == 3
+        assert mat.nrows == 3
+        assert mat.ncols == 3
+        assert mat.is_weighted
+        assert mat.density == pytest.approx(3 / 9)
+
+    def test_to_dense_round_trip(self):
+        dense = np.array([[0, 2, 0], [1, 0, 3], [0, 0, 0]], dtype=float)
+        assert np.array_equal(small_weighted().to_dense(), dense)
+        assert np.array_equal(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_from_coo_sorts_and_sums_duplicates(self):
+        mat = CSRMatrix.from_coo(
+            rows=[1, 0, 1], cols=[2, 0, 2], values=[1.0, 5.0, 2.0], shape=(2, 3)
+        )
+        assert mat.nnz == 2
+        assert np.array_equal(mat.to_dense(), [[5, 0, 0], [0, 0, 3]])
+
+    def test_from_coo_unweighted_collapses_duplicates(self):
+        mat = CSRMatrix.from_coo([0, 0, 1], [1, 1, 0], None, (2, 2))
+        assert mat.nnz == 2
+        assert not mat.is_weighted
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 2, 1], [0, 1], None, (2, 2))
+
+    def test_indptr_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1], [0], None, (2, 2))
+
+    def test_out_of_range_column_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1], [5], None, (1, 2))
+
+    def test_values_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1], [0], [1.0, 2.0], (1, 2))
+
+    def test_eye(self):
+        ident = CSRMatrix.eye(4)
+        assert np.array_equal(ident.to_dense(), np.eye(4))
+        weighted = CSRMatrix.eye(3, values=[1.0, 2.0, 3.0])
+        assert np.array_equal(weighted.to_dense(), np.diag([1.0, 2.0, 3.0]))
+
+    def test_empty_matrix(self):
+        mat = CSRMatrix([0, 0, 0], [], None, (2, 5))
+        assert mat.nnz == 0
+        assert mat.density == 0.0
+        assert np.array_equal(mat.to_dense(), np.zeros((2, 5)))
+
+
+class TestStructuralOps:
+    def test_degrees(self):
+        mat = small_weighted()
+        assert np.array_equal(mat.row_degrees(), [1, 2, 0])
+        assert np.array_equal(mat.col_degrees(), [1, 1, 1])
+
+    def test_row_ids(self):
+        assert np.array_equal(small_weighted().row_ids(), [0, 1, 1])
+
+    def test_transpose(self):
+        mat = small_weighted()
+        assert np.array_equal(mat.transpose().to_dense(), mat.to_dense().T)
+
+    def test_transpose_random(self, rng):
+        mat = random_csr(rng, 17, 23, density=0.2)
+        assert np.allclose(mat.transpose().to_dense(), mat.to_dense().T)
+
+    def test_transpose_preserves_unweighted(self, rng):
+        mat = random_csr(rng, 8, 8, weighted=False)
+        assert not mat.transpose().is_weighted
+
+    def test_add_self_loops_unweighted(self):
+        mat = CSRMatrix.from_coo([0, 1], [1, 0], None, (3, 3))
+        looped = mat.add_self_loops()
+        dense = looped.to_dense()
+        assert np.array_equal(np.diag(dense), [1, 1, 1])
+        assert dense[0, 1] == 1 and dense[1, 0] == 1
+
+    def test_add_self_loops_idempotent_pattern(self):
+        mat = CSRMatrix.from_coo([0, 0], [0, 1], None, (2, 2))
+        looped = mat.add_self_loops()
+        # existing loop at (0,0) not duplicated
+        assert looped.nnz == 3
+
+    def test_add_self_loops_requires_square(self):
+        with pytest.raises(ValueError):
+            random_csr(np.random.default_rng(0), 3, 4).add_self_loops()
+
+    def test_scale_rows_cols(self):
+        mat = small_weighted()
+        d = np.array([2.0, 3.0, 4.0])
+        assert np.allclose(mat.scale_rows(d).to_dense(), np.diag(d) @ mat.to_dense())
+        assert np.allclose(mat.scale_cols(d).to_dense(), mat.to_dense() @ np.diag(d))
+
+    def test_scale_wrong_length(self):
+        with pytest.raises(ValueError):
+            small_weighted().scale_rows(np.ones(2))
+
+    def test_submatrix(self, rng):
+        mat = random_csr(rng, 12, 12, density=0.3)
+        ridx = np.array([0, 3, 7])
+        cidx = np.array([1, 2, 11, 5])
+        sub = mat.submatrix(ridx, cidx)
+        assert np.allclose(sub.to_dense(), mat.to_dense()[np.ix_(ridx, cidx)])
+
+    def test_submatrix_unweighted(self, rng):
+        mat = random_csr(rng, 10, 10, density=0.3, weighted=False)
+        sub = mat.submatrix(np.arange(5), np.arange(5))
+        assert not sub.is_weighted
+        assert np.allclose(sub.to_dense(), mat.to_dense()[:5, :5])
+
+    def test_unweighted_drops_values(self):
+        mat = small_weighted().unweighted()
+        assert not mat.is_weighted
+        assert np.array_equal(mat.effective_values(), np.ones(3))
+
+    def test_with_values_validates(self):
+        with pytest.raises(ValueError):
+            small_weighted().with_values(np.ones(5))
+
+    def test_bandwidth(self):
+        mat = CSRMatrix.from_coo([0, 4], [4, 0], None, (5, 5))
+        assert mat.bandwidth() == 4
+        assert CSRMatrix.eye(3).bandwidth() == 0
+
+    def test_equality(self):
+        assert small_weighted() == small_weighted()
+        assert small_weighted() != small_weighted().unweighted()
+
+    def test_scipy_round_trip(self, rng):
+        mat = random_csr(rng, 9, 14, density=0.25)
+        back = CSRMatrix.from_scipy(mat.to_scipy())
+        assert np.allclose(back.to_dense(), mat.to_dense())
+
+
+class TestDiagonalMatrix:
+    def test_shape_and_dense(self):
+        d = DiagonalMatrix([1.0, 2.0, 3.0])
+        assert d.shape == (3, 3)
+        assert np.array_equal(d.to_dense(), np.diag([1.0, 2.0, 3.0]))
+
+    def test_inv_handles_zero(self):
+        d = DiagonalMatrix([2.0, 0.0]).inv()
+        assert np.array_equal(d.diag, [0.5, 0.0])
+
+    def test_power_handles_zero(self):
+        d = DiagonalMatrix([4.0, 0.0]).power(-0.5)
+        assert np.allclose(d.diag, [0.5, 0.0])
+
+    def test_to_csr(self):
+        d = DiagonalMatrix([5.0, 6.0])
+        assert np.array_equal(d.to_csr().to_dense(), np.diag([5.0, 6.0]))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            DiagonalMatrix(np.ones((2, 2)))

@@ -1,0 +1,114 @@
+"""Unit tests for COO matrices and structural sparse operations."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    DiagonalMatrix,
+    degree_vector,
+    hstack_patterns,
+    is_symmetric_pattern,
+    permute,
+    spspmul_diag,
+    sym_norm_values,
+)
+
+from helpers import random_csr, random_symmetric_csr
+
+
+class TestCOO:
+    def test_round_trip(self, rng):
+        csr = random_csr(rng, 7, 9, density=0.3)
+        rows, cols, vals = csr.to_coo()
+        coo = COOMatrix(rows, cols, vals, csr.shape)
+        assert np.allclose(coo.to_csr().to_dense(), csr.to_dense())
+        assert coo.nnz == csr.nnz
+
+    def test_from_edges_symmetrize(self):
+        coo = COOMatrix.from_edges([0, 1], [1, 1], n=3, symmetrize=True)
+        dense = coo.to_csr().to_dense()
+        assert dense[0, 1] == 1 and dense[1, 0] == 1
+        assert dense[1, 1] == 1  # self-loop kept once, not mirrored
+
+    def test_from_edges_symmetrize_weighted(self):
+        coo = COOMatrix.from_edges([0], [2], n=3, values=[5.0], symmetrize=True)
+        dense = coo.to_csr().to_dense()
+        assert dense[0, 2] == 5.0 and dense[2, 0] == 5.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0, 1], [0], None, (2, 2))
+        with pytest.raises(ValueError):
+            COOMatrix([0], [0], [1.0, 2.0], (1, 1))
+
+
+class TestStructuralOps:
+    def test_permute_round_trip(self, rng):
+        mat = random_csr(rng, 10, 10, density=0.2)
+        perm = rng.permutation(10)
+        permuted = permute(mat, perm)
+        dense = mat.to_dense()
+        # P A P^T with row/col relabeling: entry (i,j) moves to (inv[i], inv[j])
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(10)
+        expected = dense[np.ix_(perm, perm)]
+        assert np.allclose(permuted.to_dense()[np.ix_(inv, inv)][np.ix_(perm, perm)], expected)
+        # permuting back recovers the original
+        back = permute(permuted, inv)
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_is_symmetric_pattern(self, rng):
+        sym = random_symmetric_csr(rng, 20, density=0.1)
+        assert is_symmetric_pattern(sym)
+        asym = CSRMatrix.from_coo([0], [1], None, (2, 2))
+        assert not is_symmetric_pattern(asym)
+        assert not is_symmetric_pattern(random_csr(rng, 2, 3))
+
+    def test_degree_vector_unweighted(self):
+        mat = CSRMatrix.from_coo([0, 0, 1], [1, 2, 0], None, (3, 3))
+        assert np.array_equal(degree_vector(mat, "out"), [2, 1, 0])
+        assert np.array_equal(degree_vector(mat, "in"), [1, 1, 1])
+
+    def test_degree_vector_weighted(self):
+        mat = CSRMatrix.from_coo([0, 0, 1], [1, 2, 0], [2.0, 3.0, 4.0], (3, 3))
+        assert np.allclose(degree_vector(mat, "out"), [5, 4, 0])
+        assert np.allclose(degree_vector(mat, "in"), [4, 2, 3])
+
+    def test_degree_vector_bad_direction(self):
+        with pytest.raises(ValueError):
+            degree_vector(CSRMatrix.eye(2), "sideways")
+
+    def test_sym_norm_values_matches_dense(self, rng):
+        adj = random_symmetric_csr(rng, 15, density=0.2).add_self_loops()
+        vals = sym_norm_values(adj)
+        deg = adj.row_degrees().astype(float)
+        d_is = np.where(deg > 0, deg ** -0.5, 0.0)
+        expected = np.diag(d_is) @ adj.to_dense() @ np.diag(d_is)
+        assert np.allclose(adj.with_values(vals).to_dense(), expected)
+
+    def test_spspmul_diag(self, rng):
+        mat = random_csr(rng, 6, 8, density=0.4)
+        left = DiagonalMatrix(rng.random(6) + 0.5)
+        right = DiagonalMatrix(rng.random(8) + 0.5)
+        out = spspmul_diag(left, mat, right)
+        expected = left.to_dense() @ mat.to_dense() @ right.to_dense()
+        assert np.allclose(out.to_dense(), expected)
+
+    def test_hstack_patterns(self, rng):
+        a = random_csr(rng, 5, 3, density=0.4)
+        b = random_csr(rng, 5, 4, density=0.4)
+        stacked = hstack_patterns([a, b])
+        assert stacked.shape == (5, 7)
+        assert np.allclose(
+            stacked.to_dense(), np.hstack([a.to_dense(), b.to_dense()])
+        )
+
+    def test_hstack_mismatched_rows(self, rng):
+        with pytest.raises(ValueError):
+            hstack_patterns([random_csr(rng, 3, 3), random_csr(rng, 4, 3)])
+
+    def test_hstack_empty(self):
+        with pytest.raises(ValueError):
+            hstack_patterns([])

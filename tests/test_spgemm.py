@@ -1,0 +1,107 @@
+"""Unit tests for the SpGEMM kernel, fill estimators, and the extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import ShapeEnv, compile_model
+from repro.core.rules import Operand, match_matmul_window
+from repro.kernels import sampled_power_nnz, spgemm, spgemm_output_nnz_estimate
+from repro.sparse import CSRMatrix
+
+from helpers import random_csr
+
+
+class TestSpgemmKernel:
+    def test_matches_dense_product(self, rng):
+        a = random_csr(rng, 8, 10, density=0.3)
+        b = random_csr(rng, 10, 6, density=0.3)
+        out = spgemm(a, b)
+        assert np.allclose(out.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_unweighted_operands(self, rng):
+        a = random_csr(rng, 6, 6, density=0.4, weighted=False)
+        out = spgemm(a, a)
+        pattern = (a.to_dense() != 0).astype(float)
+        assert np.allclose(out.to_dense(), pattern @ pattern)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            spgemm(random_csr(rng, 3, 4), random_csr(rng, 5, 3))
+
+    def test_cancellation_dropped(self):
+        a = CSRMatrix.from_coo([0, 0], [0, 1], [1.0, -1.0], (2, 2))
+        b = CSRMatrix.from_coo([0, 1], [0, 0], [1.0, 1.0], (2, 2))
+        out = spgemm(a, b)  # (0,0) entry cancels to zero exactly
+        assert out.nnz == 0
+
+
+class TestFillEstimators:
+    def test_oblivious_estimate_bounds(self):
+        assert spgemm_output_nnz_estimate(0, 10, 10) == 0
+        assert spgemm_output_nnz_estimate(10, 100, 100) <= 100
+        est = spgemm_output_nnz_estimate(1000, 5000, 5000)
+        assert 0 < est < 1000 * 1000
+
+    def test_sampled_estimate_exact_on_disjoint_cliques(self):
+        from repro.experiments.spgemm_study import molecule_batch_graph
+
+        graph = molecule_batch_graph(num_molecules=100, size=6)
+        adj = graph.adj_with_self_loops().unweighted()
+        exact = spgemm(adj, adj).nnz
+        est = sampled_power_nnz(adj, depth=2, sample_fraction=0.2)
+        assert abs(est - exact) / exact < 0.15
+
+    def test_sampled_estimate_tracks_dense_blowup(self, rng):
+        from repro.graphs import rmat
+
+        graph = rmat(512, 30, seed=77)
+        adj = graph.adj_with_self_loops().unweighted()
+        exact = spgemm(adj, adj).nnz
+        est = sampled_power_nnz(adj, depth=2, sample_fraction=0.2)
+        assert 0.5 < est / exact < 2.0
+
+    def test_depth_one_is_identity(self, rng):
+        adj = random_csr(rng, 20, 20, density=0.2, weighted=False)
+        assert sampled_power_nnz(adj, depth=1) == adj.nnz
+
+
+class TestSpgemmRule:
+    def test_gated_off_by_default(self):
+        a = Operand("A", "sparse", "unweighted", ("N", "N"), "E")
+        assert match_matmul_window([a, a]) is None
+
+    def test_gated_on(self):
+        a = Operand("A", "sparse", "unweighted", ("N", "N"), "E")
+        match = match_matmul_window([a, a], allow_spgemm=True)
+        assert match.primitive == "spgemm"
+        assert match.result_nnz == "E@2"
+
+    def test_depth_composition(self):
+        a = Operand("A", "sparse", "unweighted", ("N", "N"), "E")
+        sq = Operand("A2", "sparse", "weighted", ("N", "N"), "E@2")
+        match = match_matmul_window([sq, a], allow_spgemm=True)
+        assert match.result_nnz == "E@3"
+
+    def test_compile_flag_expands_pool(self):
+        plain = compile_model("sgc", hops=2)
+        extended = compile_model("sgc", spgemm=True, hops=2)
+        assert extended.enumerated_count > plain.enumerated_count
+        assert any(
+            "spgemm" in p.plan.primitives for p in extended.promoted
+        )
+        assert not any(
+            "spgemm" in p.plan.primitives for p in plain.promoted
+        )
+
+    def test_spgemm_plan_shape_env_resolution(self):
+        extended = compile_model("sgc", spgemm=True, hops=2)
+        planned = next(
+            p for p in extended.promoted if "spgemm" in p.plan.primitives
+        )
+        env = ShapeEnv({"N": 100, "E": 600, "E@2": 1500, "K1": 8, "K2": 4})
+        setup, per_iter = planned.plan.kernel_calls(env)
+        spg = next(c for c in setup if c.primitive == "spgemm")
+        assert spg.shape["nnz_out"] == 1500
+        # the per-iteration aggregation runs over the materialised power
+        spmm = next(c for c in per_iter if c.primitive == "spmm")
+        assert spmm.shape["nnz"] == 1500

@@ -1,0 +1,164 @@
+"""Tests for modules, optimizers and losses, including training convergence."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    SGD,
+    Adam,
+    Linear,
+    Module,
+    Parameter,
+    Tensor,
+    cross_entropy,
+    mse_loss,
+    nll_loss,
+    log_softmax,
+    relu,
+)
+
+
+class TwoLayer(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=rng)
+        self.fc2 = Linear(8, 3, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(relu(self.fc1(x)))
+
+
+class TestModule:
+    def test_parameter_discovery(self, rng):
+        model = TwoLayer(rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["fc1.bias", "fc1.weight", "fc2.bias", "fc2.weight"]
+
+    def test_parameters_in_lists_discovered(self, rng):
+        class Stack(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [Linear(2, 2, rng=rng), Linear(2, 2, rng=rng)]
+                self.extra = [Parameter(np.zeros(3))]
+
+        names = [n for n, _ in Stack().named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+        assert "extra.0" in names
+
+    def test_train_eval_propagates(self, rng):
+        model = TwoLayer(rng)
+        model.eval()
+        assert not model.fc1.training
+        model.train()
+        assert model.fc2.training
+
+    def test_zero_grad(self, rng):
+        model = TwoLayer(rng)
+        out = model(Tensor(rng.standard_normal((5, 4))))
+        out.sum().backward()
+        assert model.fc1.weight.grad is not None
+        model.zero_grad()
+        assert model.fc1.weight.grad is None
+
+    def test_state_dict_round_trip(self, rng):
+        m1 = TwoLayer(rng)
+        m2 = TwoLayer(np.random.default_rng(999))
+        m2.load_state_dict(m1.state_dict())
+        x = Tensor(rng.standard_normal((3, 4)))
+        assert np.allclose(m1(x).data, m2(x).data)
+
+    def test_state_dict_mismatch_raises(self, rng):
+        m = TwoLayer(rng)
+        state = m.state_dict()
+        state.pop("fc1.weight")
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        x = rng.standard_normal((4, 3))
+        assert np.allclose(layer(Tensor(x)).data, x @ layer.weight.data)
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 5)), requires_grad=True)
+        loss = cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(5))
+
+    def test_nll_with_mask(self, rng):
+        logp = log_softmax(Tensor(rng.standard_normal((6, 3)), requires_grad=True))
+        mask = np.array([1, 0, 0, 1, 0, 0], dtype=bool)
+        loss = nll_loss(logp, np.zeros(6, dtype=int), mask)
+        full = nll_loss(logp, np.zeros(6, dtype=int))
+        assert loss.item() != pytest.approx(full.item())
+
+    def test_nll_empty_mask_raises(self, rng):
+        logp = log_softmax(Tensor(rng.standard_normal((3, 2))))
+        with pytest.raises(ValueError):
+            nll_loss(logp, np.zeros(3, dtype=int), np.zeros(3, dtype=bool))
+
+    def test_nll_label_shape_validated(self, rng):
+        logp = log_softmax(Tensor(rng.standard_normal((3, 2))))
+        with pytest.raises(ValueError):
+            nll_loss(logp, np.zeros(4, dtype=int))
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+
+class TestOptimizers:
+    def test_sgd_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        (p * 3.0).sum().backward()
+        opt.step()
+        assert np.allclose(p.data, [0.7])
+
+    def test_sgd_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(2):
+            opt.zero_grad()
+            (p * 1.0).sum().backward()
+            opt.step()
+        # steps: -0.1, then -(0.1 * (0.9*1 + 1)) = -0.19
+        assert np.allclose(p.data, [-0.29])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_adam_converges_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 0.05
+
+    def test_training_reduces_loss(self, rng):
+        model = TwoLayer(rng)
+        x = rng.standard_normal((32, 4))
+        labels = (x[:, 0] > 0).astype(int)
+        opt = Adam(model.parameters(), lr=0.05)
+        first = None
+        for _ in range(60):
+            opt.zero_grad()
+            loss = cross_entropy(model(Tensor(x)), labels)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.5
