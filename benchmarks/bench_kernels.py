@@ -1,0 +1,143 @@
+"""Micro-benchmark of the g-SpMM execution strategies.
+
+Runs every strategy on three graph scales and writes machine-readable
+wall-clock results to ``benchmarks/output/BENCH_kernels.json``.  Not a
+pytest benchmark — invoke directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--quick]
+
+The interesting comparison is ``blocked`` (with a warm workspace arena,
+i.e. steady-state plan execution) against ``row_segment``: tiling should
+cost nothing on small graphs and win on large ones, where the naive
+O(E·K) message array blows past cache and allocator limits.
+``blocked_parallel`` only helps on multi-core hosts; single-core CI boxes
+will see its dispatch overhead instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graphs import erdos_renyi, rmat  # noqa: E402
+from repro.hardware.timer import time_fn  # noqa: E402
+from repro.kernels import WorkspaceArena, get_semiring, gspmm  # noqa: E402
+
+OUTPUT_PATH = Path(__file__).resolve().parent / "output" / "BENCH_kernels.json"
+
+SCALES = {
+    "small": dict(kind="er", n=2_000, avg_degree=8, k=32),
+    "medium": dict(kind="rmat", n=50_000, avg_degree=16, k=64),
+    "large": dict(kind="rmat", n=200_000, avg_degree=16, k=64),
+}
+
+QUICK_SCALES = {
+    "small": dict(kind="er", n=1_000, avg_degree=8, k=16),
+    "medium": dict(kind="rmat", n=10_000, avg_degree=12, k=32),
+    "large": dict(kind="rmat", n=50_000, avg_degree=16, k=32),
+}
+
+
+def build_graph(kind: str, n: int, avg_degree: float):
+    if kind == "er":
+        return erdos_renyi(n, avg_degree, seed=7)
+    return rmat(n, avg_degree, seed=7)
+
+
+def bench_scale(name: str, spec: dict, repeats: int) -> dict:
+    graph = build_graph(spec["kind"], spec["n"], spec["avg_degree"])
+    adj = graph.adj.with_values(
+        np.random.default_rng(0).random(graph.adj.nnz) + 0.1
+    )
+    k = spec["k"]
+    x = np.random.default_rng(1).standard_normal((adj.shape[1], k))
+    semiring = get_semiring("sum", "mul")
+    arena = WorkspaceArena()
+
+    strategies = {
+        "row_segment": lambda: gspmm(adj, x, semiring, strategy="row_segment"),
+        "gather_scatter": lambda: gspmm(
+            adj, x, semiring, strategy="gather_scatter"
+        ),
+        # warm arena: the runtime reuses one arena per (plan, graph), so
+        # steady-state iterations never reallocate the tile
+        "blocked": lambda: gspmm(
+            adj, x, semiring, strategy="blocked", workspace=arena
+        ),
+        "blocked_parallel": lambda: gspmm(
+            adj, x, semiring, strategy="blocked_parallel"
+        ),
+    }
+
+    seconds = {}
+    reference = None
+    for label, thunk in strategies.items():
+        elapsed, result = time_fn(thunk, repeats=repeats, warmup=1)
+        seconds[label] = elapsed
+        if reference is None:
+            reference = result
+        elif not np.allclose(result, reference):
+            raise AssertionError(f"{label} diverged from row_segment on {name}")
+    return {
+        "graph": {
+            "kind": spec["kind"],
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "k": k,
+        },
+        "seconds": seconds,
+        "speedup_blocked_vs_row_segment": (
+            seconds["row_segment"] / seconds["blocked"]
+        ),
+        "workspace_bytes": arena.nbytes,
+        "naive_message_bytes": 8 * adj.nnz * k,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller graphs, fewer repeats"
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args()
+    scales = QUICK_SCALES if args.quick else SCALES
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    results = {
+        "config": {
+            "quick": args.quick,
+            "repeats": repeats,
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+        },
+        "scales": {},
+    }
+    for name, spec in scales.items():
+        print(f"[bench_kernels] {name}: {spec} ...", flush=True)
+        results["scales"][name] = bench_scale(name, spec, repeats)
+        row = results["scales"][name]
+        times = ", ".join(
+            f"{label}={secs * 1e3:.2f}ms" for label, secs in row["seconds"].items()
+        )
+        print(
+            f"[bench_kernels]   {times} "
+            f"(blocked speedup {row['speedup_blocked_vs_row_segment']:.2f}x)",
+            flush=True,
+        )
+
+    OUTPUT_PATH.parent.mkdir(exist_ok=True)
+    OUTPUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"[bench_kernels] wrote {OUTPUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,7 +35,7 @@ from .ir import (
     sparse_weighted,
 )
 from .modelir import MODEL_IR_BUILDERS, build_model_ir
-from .plan import EdgeSparse, LayerBinding, Plan
+from .plan import EdgeSparse, KernelExecutionConfig, LayerBinding, Plan
 from .profiler import DEFAULT_SIZES, PROFILED_PRIMITIVES, ProfileDataset, collect_profile
 from .pruning import SCENARIOS, PrunedCandidate, cost_signature, prune_candidates
 from .rewrite import distribute_add, eliminate_row_broadcasts, rewrite_variants
@@ -51,6 +51,7 @@ __all__ = [
     "EdgeSparse",
     "FEATURE_NAMES",
     "GraniiEngine",
+    "KernelExecutionConfig",
     "LayerBinding",
     "Leaf",
     "MODEL_IR_BUILDERS",

@@ -28,8 +28,11 @@ import numpy as np
 
 from ..kernels import (
     KernelCall,
+    WorkspaceArena,
     elu,
     gemm,
+    get_semiring,
+    gspmm,
     leaky_relu,
     relu,
     row_broadcast,
@@ -50,9 +53,39 @@ from ..tensor import spmm_edge as t_spmm_edge
 from .assoc import Candidate, Step
 from .ir import ShapeEnv
 
-__all__ = ["EdgeSparse", "LayerBinding", "Plan", "GRAPH_LEAVES"]
+__all__ = [
+    "EdgeSparse",
+    "KernelExecutionConfig",
+    "LayerBinding",
+    "Plan",
+    "GRAPH_LEAVES",
+    "WORKSPACE_CACHE_KEY",
+]
 
 GRAPH_LEAVES = {"A", "D", "Dm", "Ds", "Eps", "T"}
+
+# Reserved setup-cache slot holding the plan's WorkspaceArena.  Kept out
+# of the value environment (it is not a step result) but persisted with
+# the cache so scratch tiles survive across iterations.
+WORKSPACE_CACHE_KEY = "__workspace__"
+
+
+@dataclass(frozen=True)
+class KernelExecutionConfig:
+    """How the numpy-mode executor should run its sparse aggregations.
+
+    ``strategy`` is one of :data:`~repro.kernels.spmm.SPMM_STRATEGIES`;
+    ``block_nnz``/``num_threads`` tune the blocked strategies and are
+    ignored by the one-shot ones.  ``None`` knobs defer to the kernel
+    defaults (``REPRO_BLOCK_NNZ`` / ``REPRO_NUM_THREADS``).
+    """
+
+    strategy: str = "row_segment"
+    block_nnz: Optional[int] = None
+    num_threads: Optional[int] = None
+
+
+_SPMM_SEMIRINGS = {"spmm": ("sum", "mul"), "spmm_unweighted": ("sum", "copy_rhs")}
 
 
 @dataclass
@@ -375,28 +408,53 @@ class Plan:
         binding: LayerBinding,
         mode: str = "numpy",
         setup_cache: Optional[Dict[str, object]] = None,
+        kernel_config: Optional[KernelExecutionConfig] = None,
     ):
         """Run the plan; returns the output value.
 
         ``setup_cache`` (if provided) persists graph-only sparse results
         across calls — the runtime passes one cache per (plan, graph).
+        When ``kernel_config`` selects a blocked strategy, the cache also
+        carries the :class:`~repro.kernels.workspace.WorkspaceArena`, so
+        scratch tiles are allocated once and reused every iteration.
         """
         if mode not in ("numpy", "tensor"):
             raise ValueError("mode must be 'numpy' or 'tensor'")
+        workspace = None
+        if kernel_config is not None and kernel_config.strategy == "blocked":
+            if setup_cache is not None:
+                workspace = setup_cache.get(WORKSPACE_CACHE_KEY)
+                if workspace is None:
+                    workspace = WorkspaceArena()
+                    setup_cache[WORKSPACE_CACHE_KEY] = workspace
+            else:
+                workspace = WorkspaceArena()
         env: Dict[str, object] = dict(binding.values)
         if setup_cache:
-            env.update(setup_cache)
+            env.update(
+                (k, v) for k, v in setup_cache.items()
+                if k != WORKSPACE_CACHE_KEY
+            )
         for step in self.steps:
             if step.out in env:
                 continue
-            value = _execute_step(step, env, mode, binding)
+            value = _execute_step(
+                step, env, mode, binding, kernel_config, workspace
+            )
             env[step.out] = value
             if setup_cache is not None and step.out in self._setup_outs:
                 setup_cache[step.out] = value
         return env[self.candidate.output]
 
 
-def _execute_step(step: Step, env: Dict[str, object], mode: str, binding: LayerBinding):
+def _execute_step(
+    step: Step,
+    env: Dict[str, object],
+    mode: str,
+    binding: LayerBinding,
+    kernel_config: Optional[KernelExecutionConfig] = None,
+    workspace: Optional[WorkspaceArena] = None,
+):
     p = step.primitive
     args = [env[a] for a in step.args]
     if p == "gemm":
@@ -409,9 +467,20 @@ def _execute_step(step: Step, env: Dict[str, object], mode: str, binding: LayerB
         if isinstance(sp, EdgeSparse):
             if mode == "tensor":
                 return t_spmm_edge(sp.pattern, sp.values, _as_tensor(dn))
-            return spmm(sp.pattern.with_values(sp.values.data), _as_numpy(dn))
-        if mode == "tensor":
+            sp = sp.pattern.with_values(sp.values.data)
+            p = "spmm"
+        elif mode == "tensor":
             return t_spmm(sp, _as_tensor(dn))
+        if kernel_config is not None:
+            return gspmm(
+                sp,
+                _as_numpy(dn),
+                get_semiring(*_SPMM_SEMIRINGS[p]),
+                strategy=kernel_config.strategy,
+                block_nnz=kernel_config.block_nnz,
+                num_threads=kernel_config.num_threads,
+                workspace=workspace,
+            )
         if p == "spmm_unweighted":
             return spmm_unweighted(sp, _as_numpy(dn))
         return spmm(sp, _as_numpy(dn))

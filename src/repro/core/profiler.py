@@ -27,6 +27,8 @@ PROFILED_PRIMITIVES = (
     "gemm",
     "spmm",
     "spmm_unweighted",
+    "spmm_blocked",
+    "spmm_parallel",
     "sddmm",
     "sddmm_diag",
     "gsddmm_attn",
@@ -80,6 +82,10 @@ def _representative_calls(
         KernelCall("spmm", {"m": n, "nnz": nnz, "k": k2}),
         KernelCall("spmm_unweighted", {"m": n, "nnz": nnz, "k": k1}),
         KernelCall("spmm_unweighted", {"m": n, "nnz": nnz, "k": k2}),
+        KernelCall("spmm_blocked", {"m": n, "nnz": nnz, "k": k1}),
+        KernelCall("spmm_blocked", {"m": n, "nnz": nnz, "k": k2}),
+        KernelCall("spmm_parallel", {"m": n, "nnz": nnz, "k": k1}),
+        KernelCall("spmm_parallel", {"m": n, "nnz": nnz, "k": k2}),
         KernelCall("sddmm", {"m": n, "nnz": nnz, "k": k1}),
         KernelCall("sddmm_diag", {"m": n, "nnz": nnz}),
         KernelCall("gsddmm_attn", {"m": n, "nnz": nnz}),

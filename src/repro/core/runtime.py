@@ -25,15 +25,26 @@ import numpy as np
 from ..framework import MPGraph, get_system
 from ..graphs import Graph
 from ..hardware import get_device
+from ..kernels import SPMM_STRATEGIES, KernelCall
 from ..tensor import Tensor
 from .bindings import build_binding, model_ir_kwargs, model_ir_name
 from .codegen import CompiledModel, PlannedCandidate, compile_model
 from .costmodel import CostModelSet, get_cost_models
 from .features import featurize_graph
 from .ir import ShapeEnv
-from .plan import Plan
+from .plan import KernelExecutionConfig, Plan
 
 __all__ = ["SelectionReport", "OptimizationReport", "GraniiEngine"]
+
+# Cost-model primitive that prices each alternative execution strategy of
+# the plan's spmm/spmm_unweighted calls.  ``row_segment`` is priced by the
+# original calls themselves; ``gather_scatter`` has no dedicated model (it
+# shares the scatter cost profile already folded into ``spmm``) and is
+# only selectable explicitly.
+_SPMM_STRATEGY_PRIMITIVES = {
+    "blocked": "spmm_blocked",
+    "blocked_parallel": "spmm_parallel",
+}
 
 
 @dataclass
@@ -49,6 +60,8 @@ class SelectionReport:
     selection_seconds: float
     peak_memory_bytes: float = 0.0
     memory_filtered_count: int = 0  # plans dropped for exceeding the limit
+    spmm_strategy: str = "row_segment"  # how the executor runs aggregations
+    strategy_costs: Dict[str, float] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -88,15 +101,25 @@ class GraniiEngine:
         scale: str = "default",
         cost_models: Optional[CostModelSet] = None,
         memory_limit_bytes: Optional[float] = None,
+        spmm_strategy: str = "auto",
+        block_nnz: Optional[int] = None,
+        num_threads: Optional[int] = None,
     ) -> None:
         if mode not in ("inference", "training"):
             raise ValueError("mode must be 'inference' or 'training'")
+        if spmm_strategy != "auto" and spmm_strategy not in SPMM_STRATEGIES:
+            raise ValueError(
+                f"spmm_strategy must be 'auto' or one of {SPMM_STRATEGIES}"
+            )
         self.device = get_device(device)
         self.system = get_system(system)
         self.iterations = int(iterations)
         self.mode = mode
         self.scale = scale
         self.memory_limit_bytes = memory_limit_bytes
+        self.spmm_strategy = spmm_strategy
+        self.block_nnz = block_nnz
+        self.num_threads = num_threads
         self._cost_models = cost_models
         self._graph_vec_cache: Dict[int, np.ndarray] = {}
 
@@ -180,6 +203,48 @@ class GraniiEngine:
         )
         return total
 
+    def select_spmm_strategy(
+        self, plan: Plan, env: ShapeEnv, graph_vec: np.ndarray
+    ) -> Tuple[str, Dict[str, float]]:
+        """Pick the aggregation strategy for this (plan, graph) pairing.
+
+        With ``spmm_strategy='auto'`` the plan's per-iteration
+        spmm/spmm_unweighted calls are re-priced under each strategy's
+        cost-model primitive (``spmm_blocked``, ``spmm_parallel``) and the
+        cheapest wins — the same input-aware mechanism the paper applies
+        to composition choice, one level down at the kernel.  Auto only
+        consults models that are already materialised: it never triggers
+        the offline training pass on its own (a single-candidate
+        selection must stay overhead-free), falling back to
+        ``row_segment`` when no models are loaded.
+        """
+        if self.spmm_strategy != "auto":
+            return self.spmm_strategy, {}
+        if self._cost_models is None:
+            return "row_segment", {}
+        setup, per_iter = plan.kernel_calls(env, self.system.degree_method)
+        spmm_calls = [
+            c for c in per_iter if c.primitive in ("spmm", "spmm_unweighted")
+        ]
+        if not spmm_calls:
+            return "row_segment", {}
+        eff = self.system.efficiency
+        models = self.cost_models
+        costs = {
+            "row_segment": models.predict_calls(spmm_calls, graph_vec, eff)
+        }
+        for strategy, primitive in _SPMM_STRATEGY_PRIMITIVES.items():
+            variant = [
+                KernelCall(primitive, dict(c.shape), tag=c.tag)
+                for c in spmm_calls
+            ]
+            try:
+                costs[strategy] = models.predict_calls(variant, graph_vec, eff)
+            except KeyError:
+                # model set predates these primitives; skip the strategy
+                continue
+        return min(costs, key=costs.get), costs
+
     def select(
         self, compiled: CompiledModel, graph: Graph, layer
     ) -> SelectionReport:
@@ -228,6 +293,9 @@ class GraniiEngine:
             for p, c in zip(viable, costs):
                 predicted[f"{p.label}#{p.plan.name}"] = c
             chosen = viable[int(np.argmin(costs))]
+        spmm_strategy, strategy_costs = self.select_spmm_strategy(
+            chosen.plan, env, graph_vec
+        )
         selection_seconds = time.perf_counter() - t1
         return SelectionReport(
             model_name=compiled.model_name,
@@ -239,19 +307,38 @@ class GraniiEngine:
             selection_seconds=selection_seconds,
             peak_memory_bytes=chosen.plan.peak_memory_bytes(env),
             memory_filtered_count=memory_filtered,
+            spmm_strategy=spmm_strategy,
+            strategy_costs=strategy_costs,
         )
 
     # ------------------------------------------------------------------
-    def make_executor(self, layer, planned: PlannedCandidate):
+    def make_executor(
+        self,
+        layer,
+        planned: PlannedCandidate,
+        spmm_strategy: str = "row_segment",
+    ):
         """Wrap the chosen plan as a drop-in replacement for layer.forward."""
         plan = planned.plan
         setup_caches: Dict[Tuple[int, str], Dict[str, object]] = {}
+        kernel_config = None
+        if spmm_strategy != "row_segment":
+            kernel_config = KernelExecutionConfig(
+                strategy=spmm_strategy,
+                block_nnz=self.block_nnz,
+                num_threads=self.num_threads,
+            )
 
         def executor(g: MPGraph, feat, *args, **kwargs):
             mode = "tensor" if isinstance(feat, Tensor) else "numpy"
             binding = build_binding(layer, g, feat, mode)
             cache = setup_caches.setdefault((id(g), mode), {})
-            return plan.execute(binding, mode=mode, setup_cache=cache)
+            return plan.execute(
+                binding,
+                mode=mode,
+                setup_cache=cache,
+                kernel_config=kernel_config,
+            )
 
         return executor
 
@@ -266,6 +353,10 @@ class GraniiEngine:
         for layer in layers:
             compiled = self.compile_for(layer, graph)
             selection = self.select(compiled, graph, layer)
-            layer.attach_executor(self.make_executor(layer, selection.chosen))
+            layer.attach_executor(
+                self.make_executor(
+                    layer, selection.chosen, selection.spmm_strategy
+                )
+            )
             report.selections.append(selection)
         return report

@@ -65,6 +65,11 @@ def bytes_moved(call: KernelCall) -> float:
         return _F64 * (2 * s["nnz"] + s["nnz"] * s["k"] + s["m"] * s["k"])
     if name == "spmm_unweighted":
         return _F64 * (s["nnz"] + s["nnz"] * s["k"] + s["m"] * s["k"])
+    if name in ("spmm_blocked", "spmm_parallel"):
+        # tiled: the message block stays cache-resident, so only the
+        # streaming traffic (values + indices + gathered rows + output)
+        # hits memory — no O(E·K) intermediate round-trip
+        return _F64 * (2 * s["nnz"] + s["nnz"] * s["k"] + s["m"] * s["k"])
     if name == "sddmm":
         return _F64 * (2 * s["nnz"] * s["k"] + 2 * s["nnz"])
     if name == "sddmm_diag":
@@ -137,6 +142,13 @@ class DeviceProfile:
     skew_coeff: float  # sensitivity to degree skew on sparse kernels
     noise_sigma: float  # log-normal measurement noise
     atomic_base: float = 1.0  # uncontended atomic-op slowdown (binning)
+    # tiled-kernel calibration: row-blocked execution bounds how much one
+    # hot row can stall a pass, removing this fraction of the skew penalty
+    tile_skew_relief: float = 0.5
+    # effective speedup of the host thread-pool SpMM path; ~1 on GPUs
+    # (the kernel is already device-wide parallel, threads only add
+    # dispatch overhead) but real on CPU targets
+    thread_speedup: float = 1.0
 
 
 class Device:
@@ -164,10 +176,15 @@ class Device:
             + (stats.avg_degree / scale) ** self.profile.atomic_exp
         )
 
+    _TILED_PRIMITIVES = frozenset({"spmm_blocked", "spmm_parallel"})
+
     def _skew(self, call: KernelCall, stats: GraphStats) -> float:
         if call.kind != "sparse":
             return 1.0
-        return 1.0 + self.profile.skew_coeff * stats.row_imbalance
+        coeff = self.profile.skew_coeff
+        if call.primitive in self._TILED_PRIMITIVES:
+            coeff *= 1.0 - self.profile.tile_skew_relief
+        return 1.0 + coeff * stats.row_imbalance
 
     def _noise(self, call: KernelCall, stats: GraphStats) -> float:
         if self.profile.noise_sigma <= 0:
@@ -201,8 +218,15 @@ class Device:
         compute = call.flops / tput
         memory = bytes_moved(call) / self.profile.bandwidth
         base = compute + memory
+        overhead = self.profile.kernel_overhead
+        if call.primitive == "spmm_parallel":
+            # thread-pool dispatch plus per-block scheduling launches
+            base /= max(self.profile.thread_speedup, 1.0)
+            overhead *= 6.0
+        elif call.primitive == "spmm_blocked":
+            overhead *= 2.0
         result = (
-            self.profile.kernel_overhead
+            overhead
             + base
             * self._contention(call, stats)
             * self._skew(call, stats)

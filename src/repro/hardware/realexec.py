@@ -18,11 +18,14 @@ import numpy as np
 from ..graphs import Graph
 from ..kernels import (
     KernelCall,
+    WorkspaceArena,
     degrees_by_binning,
     degrees_from_indptr,
     edge_softmax,
     gemm,
     gsddmm,
+    gspmm,
+    get_semiring,
     row_broadcast,
     sddmm,
     sddmm_diag_scale,
@@ -39,6 +42,8 @@ REAL_PROFILED_PRIMITIVES = (
     "gemm",
     "spmm",
     "spmm_unweighted",
+    "spmm_blocked",
+    "spmm_parallel",
     "sddmm",
     "sddmm_diag",
     "gsddmm_attn",
@@ -69,6 +74,9 @@ class RealExecutionBackend:
         self._rng = np.random.default_rng(seed)
         self._dense_cache: Dict[tuple, np.ndarray] = {}
         self._graph_ops: Dict[int, dict] = {}
+        # shared across profiled invocations so the blocked strategies are
+        # measured with warm scratch buffers, as they run in steady state
+        self._workspace = WorkspaceArena()
 
     # ------------------------------------------------------------------
     def _dense(self, rows: int, cols: int) -> np.ndarray:
@@ -109,6 +117,16 @@ class RealExecutionBackend:
         if p == "spmm_unweighted":
             x = self._dense(adj.shape[1], int(s["k"]))
             return lambda: spmm_unweighted(adj, x)
+        if p == "spmm_blocked":
+            x = self._dense(adj.shape[1], int(s["k"]))
+            semiring = get_semiring("sum", "mul")
+            return lambda: gspmm(
+                wadj, x, semiring, strategy="blocked", workspace=self._workspace
+            )
+        if p == "spmm_parallel":
+            x = self._dense(adj.shape[1], int(s["k"]))
+            semiring = get_semiring("sum", "mul")
+            return lambda: gspmm(wadj, x, semiring, strategy="blocked_parallel")
         if p == "sddmm":
             a = self._dense(adj.shape[0], int(s["k"]))
             b = self._dense(int(s["k"]), adj.shape[1])

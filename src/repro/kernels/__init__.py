@@ -1,5 +1,14 @@
 """Sparse and dense matrix primitives (g-SpMM, g-SDDMM, GEMM, broadcasts)."""
 
+from .blocked import (
+    DEFAULT_BLOCK_NNZ,
+    default_block_nnz,
+    default_num_threads,
+    gsddmm_blocked,
+    gspmm_blocked,
+    gspmm_parallel,
+    row_block_spans,
+)
 from .broadcast import col_broadcast, row_broadcast, row_broadcast_flops
 from .dense import (
     elementwise_add,
@@ -32,18 +41,32 @@ from .semiring import BINARY_OPS, REDUCE_OPS, BinaryOp, ReduceOp, Semiring, get_
 from .softmax import edge_softmax, segment_max, segment_sum
 from .spadd import spadd_diag
 from .spgemm import sampled_power_nnz, spgemm, spgemm_output_nnz_estimate
-from .spmm import gspmm, gspmm_flops, spmm, spmm_unweighted
+from .spmm import (
+    SPMM_STRATEGIES,
+    default_spmm_strategy,
+    gspmm,
+    gspmm_flops,
+    spmm,
+    spmm_unweighted,
+)
+from .workspace import WorkspaceArena, thread_local_arena
 
 __all__ = [
     "BINARY_OPS",
     "BinaryOp",
+    "DEFAULT_BLOCK_NNZ",
     "KernelCall",
     "PRIMITIVES",
     "Primitive",
     "REDUCE_OPS",
     "ReduceOp",
+    "SPMM_STRATEGIES",
     "Semiring",
+    "WorkspaceArena",
     "col_broadcast",
+    "default_block_nnz",
+    "default_num_threads",
+    "default_spmm_strategy",
     "degrees_by_binning",
     "degrees_from_indptr",
     "edge_softmax",
@@ -57,8 +80,11 @@ __all__ = [
     "get_primitive",
     "get_semiring",
     "gsddmm",
+    "gsddmm_blocked",
     "gspmm",
+    "gspmm_blocked",
     "gspmm_flops",
+    "gspmm_parallel",
     "leaky_relu",
     "log_softmax_rows",
     "norm_diagonal",

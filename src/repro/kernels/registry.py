@@ -54,6 +54,16 @@ PRIMITIVES: Dict[str, Primitive] = {
         _f(lambda s: 1.0 * s["nnz"] * s["k"]),
         "pattern-only sparse·dense multiplication (no edge-value multiply)",
     ),
+    "spmm_blocked": Primitive(
+        "spmm_blocked", "sparse",
+        _f(lambda s: 2.0 * s["nnz"] * s["k"]),
+        "row-block tiled sparse·dense multiplication, O(block·K) workspace",
+    ),
+    "spmm_parallel": Primitive(
+        "spmm_parallel", "sparse",
+        _f(lambda s: 2.0 * s["nnz"] * s["k"]),
+        "thread-parallel row-block tiled sparse·dense multiplication",
+    ),
     "sddmm": Primitive(
         "sddmm", "sparse",
         _f(lambda s: 2.0 * s["nnz"] * s["k"]),

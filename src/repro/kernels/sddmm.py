@@ -52,6 +52,9 @@ def gsddmm(
     u: np.ndarray,
     v: np.ndarray,
     op: str = "dot",
+    strategy: str = "naive",
+    block_nnz=None,
+    workspace=None,
 ) -> np.ndarray:
     """Generalized SDDMM: per-edge features from endpoint features.
 
@@ -64,7 +67,19 @@ def gsddmm(
 
     The edge ordering matches ``mask``'s CSR order, so the result can be
     attached with :meth:`CSRMatrix.with_values` when scalar.
+
+    ``strategy="blocked"`` stages the endpoint gathers through bounded
+    workspace tiles (:func:`repro.kernels.blocked.gsddmm_blocked`)
+    instead of materialising both full ``(nnz, k)`` gathers at once.
     """
+    if strategy == "blocked":
+        from .blocked import gsddmm_blocked
+
+        return gsddmm_blocked(
+            mask, u, v, op, block_nnz=block_nnz, workspace=workspace
+        )
+    if strategy != "naive":
+        raise ValueError(f"unknown gsddmm strategy {strategy!r}")
     u = np.atleast_2d(np.asarray(u, dtype=np.float64))
     v = np.atleast_2d(np.asarray(v, dtype=np.float64))
     rows = mask.row_ids()

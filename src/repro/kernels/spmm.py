@@ -9,7 +9,7 @@ With the standard ``(sum, mul)`` semiring this is the ordinary ``A @ X``.
 GNN aggregation places destinations on rows and sources on columns, so a
 g-SpMM over the adjacency aggregates neighbor embeddings (paper §II-C).
 
-Two execution strategies are provided:
+Four execution strategies are provided:
 
 ``row_segment``
     Gathers messages in edge order and reduces them per-row with
@@ -17,12 +17,21 @@ Two execution strategies are provided:
 ``gather_scatter``
     Scatters messages with ``ufunc.at`` — an atomics-like strategy whose
     cost profile mirrors GPU scatter kernels.
+``blocked``
+    Row-block tiled execution (:mod:`repro.kernels.blocked`): edges
+    stream through a bounded, reusable workspace tile instead of one
+    O(E·K) message array.
+``blocked_parallel``
+    The tiled kernel fanned out over a thread pool (one worker per row
+    block); controlled by ``REPRO_NUM_THREADS``.
 
-Both produce identical results; the hardware model prices them differently.
+All produce identical results; the hardware model prices them differently,
+which is what lets the engine pick a strategy per input.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
@@ -31,25 +40,38 @@ from ..sparse import CSRMatrix
 from .segment import segment_reduce
 from .semiring import Semiring, get_semiring
 
-__all__ = ["gspmm", "spmm", "spmm_unweighted", "gspmm_flops"]
+__all__ = [
+    "SPMM_STRATEGIES",
+    "default_spmm_strategy",
+    "gspmm",
+    "spmm",
+    "spmm_unweighted",
+    "gspmm_flops",
+]
+
+SPMM_STRATEGIES = ("row_segment", "gather_scatter", "blocked", "blocked_parallel")
+
+
+def default_spmm_strategy() -> str:
+    """Strategy used when the caller does not pick one.
+
+    ``REPRO_SPMM_STRATEGY`` overrides the built-in ``row_segment``
+    default process-wide (handy for benchmarking a whole model under one
+    strategy without touching call sites).
+    """
+    name = os.environ.get("REPRO_SPMM_STRATEGY", "").strip()
+    return name if name in SPMM_STRATEGIES else "row_segment"
 
 
 def _messages(adj: CSRMatrix, x: np.ndarray, semiring: Semiring) -> np.ndarray:
     """Materialise the per-edge message array of shape (nnz, k)."""
     binary = semiring.binary
-    if binary.uses_rhs:
-        gathered = x[adj.indices]
-    else:
-        gathered = None
-    if binary.uses_lhs:
-        edge_vals = adj.effective_values()[:, None]
-    else:
-        edge_vals = None
     if binary.name == "copy_rhs":
-        return gathered
+        return x[adj.indices]
+    edge_vals = adj.effective_values()[:, None]
     if binary.name == "copy_lhs":
-        return adj.effective_values()[:, None]
-    return binary(edge_vals, gathered)
+        return edge_vals
+    return binary(edge_vals, x[adj.indices])
 
 
 def _reduce_row_segment(
@@ -85,7 +107,10 @@ def gspmm(
     adj: CSRMatrix,
     x: np.ndarray,
     semiring: Optional[Semiring] = None,
-    strategy: str = "row_segment",
+    strategy: Optional[str] = None,
+    block_nnz: Optional[int] = None,
+    num_threads: Optional[int] = None,
+    workspace=None,
 ) -> np.ndarray:
     """Generalized SpMM; see module docstring.
 
@@ -98,13 +123,33 @@ def gspmm(
     semiring:
         The (⊕, ⊗) pair; defaults to ``(sum, mul)``.
     strategy:
-        ``"row_segment"`` or ``"gather_scatter"``.
+        One of :data:`SPMM_STRATEGIES`; ``None`` means
+        :func:`default_spmm_strategy`.
+    block_nnz / num_threads / workspace:
+        Tuning knobs for the blocked strategies (edge budget per tile,
+        thread-pool width, and the
+        :class:`~repro.kernels.workspace.WorkspaceArena` scratch buffers
+        come from); ignored by the one-shot strategies.
     """
     if semiring is None:
         semiring = get_semiring()
+    if strategy is None:
+        strategy = default_spmm_strategy()
     x = np.asarray(x, dtype=np.float64)
     if x.ndim == 1:
         x = x[:, None]
+    if strategy == "blocked":
+        from .blocked import gspmm_blocked
+
+        return gspmm_blocked(
+            adj, x, semiring, block_nnz=block_nnz, workspace=workspace
+        )
+    if strategy == "blocked_parallel":
+        from .blocked import gspmm_parallel
+
+        return gspmm_parallel(
+            adj, x, semiring, block_nnz=block_nnz, num_threads=num_threads
+        )
     if semiring.binary.uses_rhs and x.shape[0] != adj.shape[1]:
         raise ValueError(
             f"gspmm shape mismatch: adj {adj.shape} vs dense {x.shape}"

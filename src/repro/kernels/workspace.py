@@ -1,0 +1,93 @@
+"""Reusable scratch-buffer arenas for the blocked kernel strategies.
+
+The naive g-SpMM materialises a fresh ``(nnz, k)`` message array on every
+call; the blocked strategies instead stream edges through a bounded tile
+whose backing buffer lives in a :class:`WorkspaceArena` and is reused
+across blocks *and* across plan iterations (the runtime stows one arena
+per (plan, graph) in the same ``setup_cache`` that amortises graph-only
+sparse precomputation).  Buffers are keyed by (shape, dtype), so a layer
+that executes the same composition every iteration allocates its scratch
+exactly once.
+
+Thread safety: an arena hands out one buffer per key, so concurrent
+workers must not share one arena.  The parallel strategy therefore draws
+per-worker arenas from :func:`thread_local_arena`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["WorkspaceArena", "thread_local_arena"]
+
+
+class WorkspaceArena:
+    """A pool of pre-allocated scratch buffers keyed by shape and dtype.
+
+    ``request`` returns an *uninitialised* buffer — callers must overwrite
+    every element they read.  Returned buffers are only valid until the
+    next ``request`` with the same key.
+    """
+
+    __slots__ = ("_buffers", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[Tuple[int, ...], str, int], np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def request(self, shape, dtype=np.float64, slot: int = 0) -> np.ndarray:
+        """A scratch buffer of exactly ``shape``; contents are undefined.
+
+        ``slot`` discriminates buffers a caller needs *simultaneously*
+        with the same shape and dtype (e.g. the two endpoint tiles of a
+        blocked SDDMM) — same-key requests otherwise alias one buffer.
+        """
+        key = (tuple(int(s) for s in shape), np.dtype(dtype).str, slot)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(key[0], dtype=dtype)
+            self._buffers[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes resident across all pooled buffers."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        self._buffers.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"WorkspaceArena(buffers={self.num_buffers}, "
+            f"bytes={self.nbytes}, hits={self.hits}, misses={self.misses})"
+        )
+
+
+_LOCAL = threading.local()
+
+
+def thread_local_arena() -> WorkspaceArena:
+    """The calling thread's private arena (created on first use).
+
+    Worker threads of the parallel strategy reuse their scratch across
+    blocks and across kernel invocations without any locking.
+    """
+    arena = getattr(_LOCAL, "arena", None)
+    if arena is None:
+        arena = WorkspaceArena()
+        _LOCAL.arena = arena
+    return arena

@@ -38,7 +38,9 @@ class RegressionTree:
     min_samples_leaf:
         Minimum samples on each side of a split.
     min_gain:
-        Minimum SSE reduction for a split to be accepted.
+        Minimum SSE reduction for a split to be accepted, as a fraction
+        of the node's total SSE (scale-invariant, so targets spanning
+        tiny ranges still split exactly).
     """
 
     def __init__(
@@ -86,7 +88,11 @@ class RegressionTree:
                 continue
             gain = np.where(valid, gain, -np.inf)
             i = int(np.argmax(gain))
-            if gain[i] > self.min_gain and (best is None or gain[i] > best[2]):
+            # relative threshold: a degenerate-scale target (all values
+            # within float-epsilon of each other) still gets its exact
+            # split, while float noise on a constant target does not
+            gain_floor = max(self.min_gain * total_sse, 1e-18)
+            if gain[i] > gain_floor and (best is None or gain[i] > best[2]):
                 threshold = 0.5 * (xs[i] + xs[i + 1])
                 best = (f, float(threshold), float(gain[i]))
         return best

@@ -37,7 +37,7 @@ class CSRMatrix:
         ``(nrows, ncols)``.
     """
 
-    __slots__ = ("indptr", "indices", "values", "shape")
+    __slots__ = ("indptr", "indices", "values", "shape", "_aux")
 
     def __init__(
         self,
@@ -71,6 +71,11 @@ class CSRMatrix:
         self.indices = indices
         self.values = values
         self.shape = (nrows, ncols)
+        # memoised auxiliary structures (row ids, degrees, transpose, ...).
+        # The pattern is immutable after construction, so these never need
+        # invalidation; they turn the O(E) setup the kernels used to pay on
+        # *every* call into a one-time cost per matrix.
+        self._aux: dict = {}
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -99,24 +104,51 @@ class CSRMatrix:
         return self.values is not None
 
     def row_degrees(self) -> np.ndarray:
-        """Number of stored entries per row."""
-        return np.diff(self.indptr)
+        """Number of stored entries per row (memoised; treat as read-only)."""
+        deg = self._aux.get("row_degrees")
+        if deg is None:
+            deg = np.diff(self.indptr)
+            self._aux["row_degrees"] = deg
+        return deg
 
     def col_degrees(self) -> np.ndarray:
-        """Number of stored entries per column."""
-        return np.bincount(self.indices, minlength=self.shape[1]).astype(np.int64)
+        """Number of stored entries per column (memoised; treat as read-only)."""
+        deg = self._aux.get("col_degrees")
+        if deg is None:
+            deg = np.bincount(self.indices, minlength=self.shape[1]).astype(
+                np.int64
+            )
+            self._aux["col_degrees"] = deg
+        return deg
 
     def row_ids(self) -> np.ndarray:
-        """Expanded row index per stored entry (COO row array)."""
-        return np.repeat(
-            np.arange(self.shape[0], dtype=np.int64), self.row_degrees()
-        )
+        """Expanded row index per stored entry (COO row array).
+
+        Memoised on the instance; treat the result as read-only.
+        """
+        rows = self._aux.get("row_ids")
+        if rows is None:
+            rows = np.repeat(
+                np.arange(self.shape[0], dtype=np.int64), self.row_degrees()
+            )
+            self._aux["row_ids"] = rows
+        return rows
 
     def effective_values(self) -> np.ndarray:
-        """Values array, materialising implicit ones for unweighted matrices."""
+        """Values array, materialising implicit ones for unweighted matrices.
+
+        For weighted matrices this is the live ``values`` array (as
+        before); for unweighted ones the all-ones array is memoised, so
+        repeated kernel calls stop paying an O(E) allocation.  Treat the
+        result as read-only in both cases.
+        """
         if self.values is not None:
             return self.values
-        return np.ones(self.nnz, dtype=np.float64)
+        ones = self._aux.get("effective_values")
+        if ones is None:
+            ones = np.ones(self.nnz, dtype=np.float64)
+            self._aux["effective_values"] = ones
+        return ones
 
     # ------------------------------------------------------------------
     # Constructors
@@ -222,14 +254,27 @@ class CSRMatrix:
             values = np.asarray(values, dtype=np.float64)
             if values.shape != self.indices.shape:
                 raise ValueError("values must align with the nonzero pattern")
-        return CSRMatrix(self.indptr, self.indices, values, self.shape)
+        result = CSRMatrix(self.indptr, self.indices, values, self.shape)
+        # the pattern is shared, so pattern-derived auxiliaries carry over
+        for key in ("row_degrees", "col_degrees", "row_ids"):
+            if key in self._aux:
+                result._aux[key] = self._aux[key]
+        return result
 
     def unweighted(self) -> "CSRMatrix":
         """Drop values, keeping only the sparsity pattern."""
         return self.with_values(None)
 
     def transpose(self) -> "CSRMatrix":
-        """Return the transpose, again in CSR form (i.e. CSC of self)."""
+        """Return the transpose, again in CSR form (i.e. CSC of self).
+
+        Memoised: the autograd backward pass transposes the adjacency on
+        every iteration, so the O(E log E) sort is paid once per matrix.
+        The cached transpose links back to ``self``, making ``A.T.T is A``.
+        """
+        cached = self._aux.get("transpose")
+        if cached is not None:
+            return cached
         rows, cols, vals = self.row_ids(), self.indices, self.values
         order = np.lexsort((rows, cols))
         t_rows = cols[order]
@@ -238,7 +283,10 @@ class CSRMatrix:
         counts = np.bincount(t_rows, minlength=self.shape[1])
         indptr = np.zeros(self.shape[1] + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        return CSRMatrix(indptr, t_cols, t_vals, (self.shape[1], self.shape[0]))
+        result = CSRMatrix(indptr, t_cols, t_vals, (self.shape[1], self.shape[0]))
+        self._aux["transpose"] = result
+        result._aux["transpose"] = self
+        return result
 
     def add_self_loops(self) -> "CSRMatrix":
         """Return A + I on the pattern (paper's Ã); existing loops are kept once.
@@ -259,26 +307,33 @@ class CSRMatrix:
         return CSRMatrix.from_coo(all_rows, all_cols, all_vals, self.shape)
 
     def submatrix(self, row_idx: np.ndarray, col_idx: np.ndarray) -> "CSRMatrix":
-        """Extract the (row_idx × col_idx) submatrix (used by sampling)."""
+        """Extract the (row_idx × col_idx) submatrix (used by sampling).
+
+        Fully vectorised: the selected rows' edge slices are gathered in
+        one indexed load instead of a Python loop over rows (this is the
+        hot path of GraphSAGE's neighborhood sampling).
+        """
         row_idx = np.asarray(row_idx, dtype=np.int64)
         col_idx = np.asarray(col_idx, dtype=np.int64)
         col_map = -np.ones(self.shape[1], dtype=np.int64)
         col_map[col_idx] = np.arange(col_idx.shape[0])
-        out_rows, out_cols, out_vals = [], [], []
-        for new_r, old_r in enumerate(row_idx):
-            start, stop = self.indptr[old_r], self.indptr[old_r + 1]
-            cols = self.indices[start:stop]
-            keep = col_map[cols] >= 0
-            kept_cols = col_map[cols[keep]]
-            out_rows.append(np.full(kept_cols.shape[0], new_r, dtype=np.int64))
-            out_cols.append(kept_cols)
-            if self.values is not None:
-                out_vals.append(self.values[start:stop][keep])
-        rows = np.concatenate(out_rows) if out_rows else np.empty(0, np.int64)
-        cols = np.concatenate(out_cols) if out_cols else np.empty(0, np.int64)
-        vals = None
-        if self.values is not None:
-            vals = np.concatenate(out_vals) if out_vals else np.empty(0)
+        starts = self.indptr[row_idx]
+        counts = self.indptr[row_idx + 1] - starts
+        offsets = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        # per-edge source position: the row's start plus the edge's offset
+        # within its row
+        gather = np.repeat(starts - offsets[:-1], counts) + np.arange(
+            total, dtype=np.int64
+        )
+        mapped = col_map[self.indices[gather]]
+        keep = mapped >= 0
+        rows = np.repeat(
+            np.arange(row_idx.shape[0], dtype=np.int64), counts
+        )[keep]
+        cols = mapped[keep]
+        vals = None if self.values is None else self.values[gather][keep]
         return CSRMatrix.from_coo(
             rows, cols, vals, (row_idx.shape[0], col_idx.shape[0]),
             sum_duplicates=False,
@@ -309,6 +364,15 @@ class CSRMatrix:
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         kind = "weighted" if self.is_weighted else "unweighted"
         return f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, {kind})"
+
+    def __getstate__(self):
+        # the memo cache is derived data (and the transpose link is a
+        # reference cycle) — rebuild lazily after unpickling instead
+        return (self.indptr, self.indices, self.values, self.shape)
+
+    def __setstate__(self, state) -> None:
+        self.indptr, self.indices, self.values, self.shape = state
+        self._aux = {}
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRMatrix):
