@@ -116,21 +116,28 @@ def _gat_attention_fn(layer: GATLayer):
     return attention
 
 
-def _norm_diag(adj: CSRMatrix, power: float) -> DiagonalMatrix:
+def _norm_diag(
+    adj: CSRMatrix, power: float, degree_method: str = "indptr"
+) -> DiagonalMatrix:
     """Degree diagonal; weighted adjacencies use weighted degrees."""
     if adj.is_weighted:
         from ..sparse import degree_vector
 
         return DiagonalMatrix(degree_vector(adj, "out")).power(power)
-    return norm_diagonal(adj, power)
+    return norm_diagonal(adj, power, method=degree_method)
 
 
-def build_binding(layer, g: MPGraph, feat, mode: str) -> LayerBinding:
+def build_binding(
+    layer, g: MPGraph, feat, mode: str, degree_method: str = "indptr"
+) -> LayerBinding:
     """Runtime leaf values for one (layer, graph, features) triple.
 
     Weighted adjacencies are preserved for the convolutional models
     (their plans compile against a weighted A leaf); GAT always operates
     on the pattern — its attention defines the edge values.
+    ``degree_method`` selects the degree kernel behind the D/Dm/Ds leaves
+    ('indptr' | 'binning'), matching the system personality executing the
+    plan.
     """
     name = model_ir_name(layer)
     adj = g.adj if g.adj.is_weighted and name != "gat" else g.adj.unweighted()
@@ -140,11 +147,11 @@ def build_binding(layer, g: MPGraph, feat, mode: str) -> LayerBinding:
         feat = feat.data
     values: Dict[str, object] = {"A": adj, "H": feat}
     if name in ("gcn", "sgc"):
-        values["D"] = _norm_diag(adj, -0.5)
+        values["D"] = _norm_diag(adj, -0.5, degree_method)
         values["W"] = _weight(layer.linear.weight, mode)
         return LayerBinding(values)
     if name == "tagcn":
-        values["D"] = _norm_diag(adj, -0.5)
+        values["D"] = _norm_diag(adj, -0.5, degree_method)
         for i, filt in enumerate(layer.filters):
             values[f"W{i}"] = _weight(filt.weight, mode)
         return LayerBinding(values)
@@ -162,12 +169,12 @@ def build_binding(layer, g: MPGraph, feat, mode: str) -> LayerBinding:
             fused_attention_fn=_gat_fused_attention_fn(layer),
         )
     if name == "sage":
-        values["Dm"] = _norm_diag(adj, -1.0)
+        values["Dm"] = _norm_diag(adj, -1.0, degree_method)
         values["Wself"] = _weight(layer.self_linear.weight, mode)
         values["Wneigh"] = _weight(layer.neigh_linear.weight, mode)
         return LayerBinding(values)
     if name == "appnp":
-        norm = _norm_diag(adj, -0.5)
+        norm = _norm_diag(adj, -0.5, degree_method)
         values["D"] = norm
         values["Ds"] = DiagonalMatrix((1.0 - layer.alpha) * norm.diag)
         values["T"] = DiagonalMatrix(

@@ -16,7 +16,9 @@ reported, mirroring the paper's overhead accounting (§VI-C1).
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -62,6 +64,11 @@ class SelectionReport:
     memory_filtered_count: int = 0  # plans dropped for exceeding the limit
     spmm_strategy: str = "row_segment"  # how the executor runs aggregations
     strategy_costs: Dict[str, float] = field(default_factory=dict)
+    # runtime verification outcome: None until the first verified call,
+    # then True (plan agreed with the reference) or False (diverged; the
+    # executor fell back to the reference composition — see verify_note)
+    verified: Optional[bool] = None
+    verify_note: str = ""
 
     @property
     def label(self) -> str:
@@ -89,6 +96,19 @@ class OptimizationReport:
         return "\n".join(lines)
 
 
+def _reference_forward(layer, g: MPGraph, feat):
+    """Run the baseline message-passing forward from either execution mode.
+
+    ``forward`` is written against Tensors; numpy-mode callers (plain
+    ndarray features) get an ndarray back so the fallback is a drop-in
+    replacement for the plan output.
+    """
+    if isinstance(feat, Tensor):
+        return layer.forward(g, feat)
+    out = layer.forward(g, Tensor(np.asarray(feat, dtype=np.float64)))
+    return np.asarray(out.data)
+
+
 class GraniiEngine:
     """The compiler + runtime pair of Figure 5."""
 
@@ -104,6 +124,7 @@ class GraniiEngine:
         spmm_strategy: str = "auto",
         block_nnz: Optional[int] = None,
         num_threads: Optional[int] = None,
+        verify_plans: Optional[bool] = None,
     ) -> None:
         if mode not in ("inference", "training"):
             raise ValueError("mode must be 'inference' or 'training'")
@@ -120,6 +141,13 @@ class GraniiEngine:
         self.spmm_strategy = spmm_strategy
         self.block_nnz = block_nnz
         self.num_threads = num_threads
+        if verify_plans is None:
+            verify_plans = os.environ.get(
+                "REPRO_VERIFY_PLANS", ""
+            ).strip().lower() in ("1", "true", "yes", "on")
+        # double-execute the chosen plan against the reference composition
+        # on its first iteration; on divergence fall back to the reference
+        self.verify_plans = bool(verify_plans)
         self._cost_models = cost_models
         self._graph_vec_cache: Dict[int, np.ndarray] = {}
 
@@ -317,8 +345,18 @@ class GraniiEngine:
         layer,
         planned: PlannedCandidate,
         spmm_strategy: str = "row_segment",
+        selection: Optional[SelectionReport] = None,
     ):
-        """Wrap the chosen plan as a drop-in replacement for layer.forward."""
+        """Wrap the chosen plan as a drop-in replacement for layer.forward.
+
+        With ``verify_plans`` enabled the first call additionally runs the
+        layer's baseline message-passing ``forward`` and compares outputs
+        under the depth-scaled tolerance of
+        :class:`~repro.core.verify.ToleranceModel`.  On divergence the
+        executor warns, records the outcome on ``selection``, and
+        permanently falls back to the reference composition — a wrong
+        plan degrades performance, never correctness.
+        """
         plan = planned.plan
         setup_caches: Dict[Tuple[int, str], Dict[str, object]] = {}
         kernel_config = None
@@ -328,19 +366,66 @@ class GraniiEngine:
                 block_nnz=self.block_nnz,
                 num_threads=self.num_threads,
             )
+        degree_method = self.system.degree_method
+        verify_state = {"pending": self.verify_plans, "fallback": False}
 
         def executor(g: MPGraph, feat, *args, **kwargs):
+            if verify_state["fallback"]:
+                return _reference_forward(layer, g, feat)
             mode = "tensor" if isinstance(feat, Tensor) else "numpy"
-            binding = build_binding(layer, g, feat, mode)
+            binding = build_binding(layer, g, feat, mode, degree_method)
             cache = setup_caches.setdefault((id(g), mode), {})
-            return plan.execute(
+            out = plan.execute(
                 binding,
                 mode=mode,
                 setup_cache=cache,
                 kernel_config=kernel_config,
             )
+            if verify_state["pending"]:
+                verify_state["pending"] = False
+                ok, note = self._verify_against_reference(
+                    layer, plan, g, feat, out
+                )
+                if selection is not None:
+                    selection.verified = ok
+                    selection.verify_note = note
+                if not ok:
+                    verify_state["fallback"] = True
+                    warnings.warn(note, RuntimeWarning, stacklevel=2)
+                    return _reference_forward(layer, g, feat)
+            return out
 
         return executor
+
+    def _verify_against_reference(
+        self, layer, plan: Plan, g: MPGraph, feat, out
+    ) -> Tuple[bool, str]:
+        """Compare one plan output against the baseline forward."""
+        from ..tensor import no_grad
+        from .verify import ToleranceModel, _max_errors
+
+        with no_grad():
+            ref = _reference_forward(layer, g, feat)
+        ref_data = ref.data if isinstance(ref, Tensor) else np.asarray(ref)
+        out_data = out.data if isinstance(out, Tensor) else np.asarray(out)
+        tol = ToleranceModel().for_graph(
+            g.adj, mode=self.mode, num_steps=len(plan.steps)
+        )
+        abs_err, _ = _max_errors(out_data, ref_data)
+        ok = tol.allclose(out_data, ref_data)
+        if ok:
+            note = (
+                f"plan verified against reference composition "
+                f"(max_abs_err={abs_err:.3e}, atol={tol.atol:.1e})"
+            )
+        else:
+            note = (
+                f"plan {plan.candidate.output!r} diverged from the "
+                f"reference composition (max_abs_err={abs_err:.3e}, "
+                f"rtol={tol.rtol:.1e}, atol={tol.atol:.1e}); "
+                f"falling back to layer.forward"
+            )
+        return ok, note
 
     def optimize(self, model, graph: Graph, feats=None, labels=None) -> OptimizationReport:
         """The GRANII(...) call of Figure 4: select and attach per layer.
@@ -355,7 +440,10 @@ class GraniiEngine:
             selection = self.select(compiled, graph, layer)
             layer.attach_executor(
                 self.make_executor(
-                    layer, selection.chosen, selection.spmm_strategy
+                    layer,
+                    selection.chosen,
+                    selection.spmm_strategy,
+                    selection=selection,
                 )
             )
             report.selections.append(selection)

@@ -31,6 +31,12 @@ __all__ = [
     "star",
     "path",
     "complete",
+    "empty_graph",
+    "single_node",
+    "isolated_union",
+    "self_loop_cycle",
+    "duplicated_edges",
+    "disconnected_cliques",
 ]
 
 
@@ -239,3 +245,97 @@ def complete(n: int) -> Graph:
     """K_n — maximal density."""
     iu, ju = np.triu_indices(n, k=1)
     return _finalize(iu.astype(np.int64), ju.astype(np.int64), n, f"k{n}")
+
+
+# ----------------------------------------------------------------------
+# Adversarial generators (differential plan verification, repro.verify).
+#
+# Each one targets a structural edge case that has historically broken
+# sparse kernels: empty rows, fully empty patterns, explicit self-loops,
+# duplicate input edges, and disconnected regions.  They are *inputs* to
+# the equivalence battery, not evaluation graphs.
+# ----------------------------------------------------------------------
+
+
+def empty_graph(n: int) -> Graph:
+    """``n`` nodes and zero edges — every CSR row is empty."""
+    if n < 1:
+        raise ValueError("empty_graph needs at least one node")
+    return _finalize(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), n, f"empty_{n}"
+    )
+
+
+def single_node() -> Graph:
+    """The one-node, zero-edge graph — the smallest valid input."""
+    g = empty_graph(1)
+    g.name = "single_node"
+    return g
+
+
+def isolated_union(n_connected: int, n_isolated: int, avg_degree: float = 4.0,
+                   seed: int = 0) -> Graph:
+    """An Erdős–Rényi core plus ``n_isolated`` zero-degree nodes.
+
+    Zero-degree rows exercise empty-segment reductions and zero-degree
+    normalisation (``0^-1/2`` must map to 0, not inf).
+    """
+    core = erdos_renyi(n_connected, avg_degree, seed=seed)
+    rows, cols, _ = core.adj.to_coo()
+    n = n_connected + n_isolated
+    return _finalize(rows, cols, n, f"isolated_{n_connected}+{n_isolated}")
+
+
+def self_loop_cycle(n: int) -> Graph:
+    """A cycle where every node also carries an explicit self-loop.
+
+    The standard generators strip loops (models add Ã = A + I
+    themselves); this one keeps them, so ``add_self_loops`` must merge
+    rather than duplicate and degree counts include the loop.
+    """
+    if n < 2:
+        raise ValueError("self_loop_cycle needs at least two nodes")
+    idx = np.arange(n, dtype=np.int64)
+    nxt = (idx + 1) % n
+    coo = COOMatrix.from_edges(
+        np.concatenate([idx, idx]), np.concatenate([nxt, idx]), n, symmetrize=False
+    )
+    # symmetrize the cycle edges by hand, keeping exactly one loop per node
+    rows = np.concatenate([coo.rows, nxt])
+    cols = np.concatenate([coo.cols, idx])
+    adj = COOMatrix(rows, cols, None, (n, n)).to_csr().unweighted()
+    return Graph(adj, name=f"loops_{n}")
+
+
+def duplicated_edges(n: int, avg_degree: float = 4.0, copies: int = 3,
+                     seed: int = 0) -> Graph:
+    """A random graph whose edge list repeats every edge ``copies`` times.
+
+    Duplicate COO input must collapse to a single stored entry per
+    coordinate on the unweighted pattern (CSR construction dedups).
+    """
+    if copies < 2:
+        raise ValueError("duplicated_edges wants copies >= 2")
+    rng = np.random.default_rng(seed)
+    m = int(n * avg_degree / 2)
+    src = np.tile(rng.integers(0, n, size=m), copies)
+    dst = np.tile(rng.integers(0, n, size=m), copies)
+    return _finalize(src, dst, n, f"dup_{n}x{copies}")
+
+
+def disconnected_cliques(num_components: int, component_size: int) -> Graph:
+    """Disjoint K_c components — block-diagonal, reducible adjacency."""
+    if num_components < 1 or component_size < 2:
+        raise ValueError("need at least one component of size >= 2")
+    iu, ju = np.triu_indices(component_size, k=1)
+    src_list = []
+    dst_list = []
+    for c in range(num_components):
+        base = c * component_size
+        src_list.append(iu.astype(np.int64) + base)
+        dst_list.append(ju.astype(np.int64) + base)
+    n = num_components * component_size
+    return _finalize(
+        np.concatenate(src_list), np.concatenate(dst_list), n,
+        f"cliques{num_components}x{component_size}",
+    )

@@ -44,6 +44,7 @@ from .spgemm import sampled_power_nnz, spgemm, spgemm_output_nnz_estimate
 from .spmm import (
     SPMM_STRATEGIES,
     default_spmm_strategy,
+    spmm_strategy_override,
     gspmm,
     gspmm_flops,
     spmm,
@@ -67,6 +68,7 @@ __all__ = [
     "default_block_nnz",
     "default_num_threads",
     "default_spmm_strategy",
+    "spmm_strategy_override",
     "degrees_by_binning",
     "degrees_from_indptr",
     "edge_softmax",

@@ -25,6 +25,22 @@ Two strategies are exposed, mirroring the existing ``row_segment`` /
 
 Block size comes from ``REPRO_BLOCK_NNZ`` (default 32768 edges, i.e. a
 256 KiB float64 tile per feature column budgeted across k).
+
+Determinism
+-----------
+Both tiled strategies are **bitwise deterministic**, and bitwise equal to
+``row_segment``, for any block size and thread count.  The invariant that
+guarantees this: spans are contiguous row ranges, so every output row's
+reduction happens entirely inside exactly one span, and within a span
+``ufunc.reduceat`` accumulates each row's messages sequentially in CSR
+edge order — the same association order the naive kernel uses.  Threads
+never split a row's sum: workers own disjoint row ranges, write disjoint
+output slices, and draw scratch from per-thread arenas
+(:func:`~repro.kernels.workspace.thread_local_arena`), so neither the
+pool's scheduling order nor ``REPRO_NUM_THREADS`` nor ``REPRO_BLOCK_NNZ``
+can change a single result bit.  Floating-point drift across strategies
+would otherwise masquerade as (or mask) plan-equivalence divergences;
+``tests/test_determinism.py`` pins the bitwise contract.
 """
 
 from __future__ import annotations

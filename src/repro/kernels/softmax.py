@@ -29,7 +29,11 @@ def edge_softmax(adj: CSRMatrix, logits: np.ndarray) -> CSRMatrix:
     """Softmax of per-edge logits within each CSR row.
 
     Returns a weighted CSR matrix with the same pattern as ``adj`` whose
-    stored values sum to one along every non-empty row.
+    stored values sum to one along every non-empty row.  Fully-masked
+    rows — non-empty rows whose logits are all ``-inf`` — yield all-zero
+    weights rather than NaN: the max-shift uses 0 where the row maximum
+    is not finite (``-inf - (-inf)`` would be NaN), and a zero softmax
+    denominator divides by 1 instead of 0.
     """
     logits = np.asarray(logits, dtype=np.float64)
     if logits.shape != (adj.nnz,):
@@ -38,8 +42,9 @@ def edge_softmax(adj: CSRMatrix, logits: np.ndarray) -> CSRMatrix:
         )
     deg = adj.row_degrees()
     row_max = segment_max(logits, adj.indptr)
-    shifted = logits - np.repeat(np.where(deg > 0, row_max, 0.0), deg)
+    safe_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    shifted = logits - np.repeat(safe_max, deg)
     exps = np.exp(shifted)
     denom = segment_sum(exps, adj.indptr)
-    vals = exps / np.repeat(np.where(deg > 0, denom, 1.0), deg)
+    vals = exps / np.repeat(np.where(denom > 0, denom, 1.0), deg)
     return adj.with_values(vals)

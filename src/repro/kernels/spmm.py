@@ -32,7 +32,8 @@ which is what lets the engine pick a strategy per input.
 from __future__ import annotations
 
 import os
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -43,6 +44,7 @@ from .semiring import Semiring, get_semiring
 __all__ = [
     "SPMM_STRATEGIES",
     "default_spmm_strategy",
+    "spmm_strategy_override",
     "gspmm",
     "spmm",
     "spmm_unweighted",
@@ -51,16 +53,41 @@ __all__ = [
 
 SPMM_STRATEGIES = ("row_segment", "gather_scatter", "blocked", "blocked_parallel")
 
+# Innermost spmm_strategy_override() wins over REPRO_SPMM_STRATEGY.
+_STRATEGY_OVERRIDES: List[str] = []
+
 
 def default_spmm_strategy() -> str:
     """Strategy used when the caller does not pick one.
 
+    An active :func:`spmm_strategy_override` takes precedence; otherwise
     ``REPRO_SPMM_STRATEGY`` overrides the built-in ``row_segment``
     default process-wide (handy for benchmarking a whole model under one
     strategy without touching call sites).
     """
+    if _STRATEGY_OVERRIDES:
+        return _STRATEGY_OVERRIDES[-1]
     name = os.environ.get("REPRO_SPMM_STRATEGY", "").strip()
     return name if name in SPMM_STRATEGIES else "row_segment"
+
+
+@contextmanager
+def spmm_strategy_override(strategy: str) -> Iterator[None]:
+    """Force every default-strategy g-SpMM in the block onto ``strategy``.
+
+    This reaches code that never threads a strategy argument — notably
+    the autograd sparse ops, whose forward *and* backward aggregations
+    call :func:`gspmm` with ``strategy=None``.  The differential
+    verification harness uses it to run whole training iterations under
+    each execution strategy.
+    """
+    if strategy not in SPMM_STRATEGIES:
+        raise ValueError(f"strategy must be one of {SPMM_STRATEGIES}")
+    _STRATEGY_OVERRIDES.append(strategy)
+    try:
+        yield
+    finally:
+        _STRATEGY_OVERRIDES.pop()
 
 
 def _messages(adj: CSRMatrix, x: np.ndarray, semiring: Semiring) -> np.ndarray:

@@ -189,7 +189,9 @@ class CSRMatrix:
                 cols = cols[uniq_mask]
                 if vals is not None:
                     vals = np.bincount(group_ids, weights=vals)
-        counts = np.bincount(rows, minlength=nrows)
+        # bincount returns the platform intp (int32 on 32-bit builds);
+        # pin to int64 so nnz near/above 2**31 cannot wrap in the cumsum
+        counts = np.bincount(rows, minlength=nrows).astype(np.int64, copy=False)
         indptr = np.zeros(nrows + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         return cls(indptr, cols, vals, (nrows, ncols))
@@ -280,7 +282,9 @@ class CSRMatrix:
         t_rows = cols[order]
         t_cols = rows[order]
         t_vals = None if vals is None else vals[order]
-        counts = np.bincount(t_rows, minlength=self.shape[1])
+        counts = np.bincount(t_rows, minlength=self.shape[1]).astype(
+            np.int64, copy=False
+        )
         indptr = np.zeros(self.shape[1] + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         result = CSRMatrix(indptr, t_cols, t_vals, (self.shape[1], self.shape[0]))

@@ -5,6 +5,8 @@ reused stale values across two same-sized graphs.  These tests pin the
 identity-keyed behaviour for every caching model.
 """
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,7 @@ from repro.models import (
     TAGCNLayer,
     prepare_mp_graph,
 )
+from repro.sparse import CSRMatrix
 from repro.tensor import Tensor
 
 
@@ -57,3 +60,85 @@ def test_cached_composition_tracks_graph(rng, make, method, self_loops):
     assert np.allclose(out2, expected2, atol=1e-10)
     assert np.allclose(out1_first, out1_again, atol=1e-10)
     assert not np.allclose(out1_first, out2)
+
+
+class TestCSRAuxCache:
+    """The CSR memo dict must never serve stale data to derived matrices.
+
+    ``row_degrees``/``col_degrees``/``row_ids``/``effective_values`` and
+    the transpose back-link are memoised per matrix; derived matrices
+    (``with_values``, ``submatrix``, ``add_self_loops``) share only what
+    their construction provably preserves — the pattern-derived entries.
+    """
+
+    def weighted(self):
+        return CSRMatrix.from_coo(
+            np.array([0, 0, 1, 2, 2]),
+            np.array([1, 2, 0, 0, 2]),
+            np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+            (3, 3),
+        )
+
+    def test_with_values_shares_pattern_aux_only(self):
+        m = self.weighted()
+        # populate every memo on the source matrix
+        m.row_degrees(), m.col_degrees(), m.row_ids()
+        m.effective_values()
+        mt = m.transpose()
+        w = m.with_values(np.full(m.nnz, 7.0))
+        assert "row_degrees" in w._aux and "row_ids" in w._aux
+        # values-derived and transpose entries must NOT carry over:
+        # w's transpose has different values, w's effective_values differ
+        assert "transpose" not in w._aux
+        assert "effective_values" not in w._aux
+        np.testing.assert_array_equal(w.effective_values(), 7.0)
+        np.testing.assert_array_equal(
+            w.transpose().to_dense(), w.to_dense().T
+        )
+        # and the original's cached transpose is untouched
+        assert m._aux["transpose"] is mt
+
+    def test_with_values_shared_degrees_are_correct(self):
+        m = self.weighted()
+        deg_before = m.row_degrees()
+        w = m.with_values(None)
+        np.testing.assert_array_equal(w.row_degrees(), deg_before)
+        np.testing.assert_array_equal(w.row_degrees(), [2, 1, 2])
+
+    def test_transpose_back_link_round_trips(self):
+        m = self.weighted()
+        t = m.transpose()
+        assert t.transpose() is m  # A.T.T is A, via the back-link
+        np.testing.assert_array_equal(t.to_dense(), m.to_dense().T)
+        # the link is value-aware: reweighting breaks the chain safely
+        w = m.with_values(np.arange(1.0, 6.0) * 10)
+        np.testing.assert_array_equal(w.transpose().to_dense(), w.to_dense().T)
+
+    def test_submatrix_builds_fresh_aux(self):
+        m = self.weighted()
+        m.row_degrees(), m.row_ids(), m.transpose()
+        sub = m.submatrix(np.array([0, 2]), np.array([0, 2]))
+        np.testing.assert_array_equal(sub.row_degrees(), [1, 2])
+        np.testing.assert_array_equal(
+            sub.to_dense(), m.to_dense()[np.ix_([0, 2], [0, 2])]
+        )
+        np.testing.assert_array_equal(
+            sub.transpose().to_dense(), sub.to_dense().T
+        )
+
+    def test_add_self_loops_does_not_reuse_degrees(self):
+        m = self.weighted().unweighted()
+        np.testing.assert_array_equal(m.row_degrees(), [2, 1, 2])
+        # node 2 already has a self-loop; only rows 0 and 1 gain one
+        looped = m.add_self_loops()
+        np.testing.assert_array_equal(looped.row_degrees(), [3, 2, 2])
+
+    def test_pickle_drops_aux_and_recomputes(self):
+        m = self.weighted()
+        m.row_degrees(), m.transpose(), m.effective_values()
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone._aux == {}
+        np.testing.assert_array_equal(clone.row_degrees(), m.row_degrees())
+        np.testing.assert_array_equal(
+            clone.transpose().to_dense(), m.to_dense().T
+        )

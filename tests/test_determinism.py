@@ -1,10 +1,13 @@
 """Reproducibility: the evaluation pipeline is deterministic end to end."""
 
 import numpy as np
+import pytest
 
 from repro.core import compile_model
 from repro.experiments.common import Workload, evaluate_workload
-from repro.graphs import load, make_node_features
+from repro.graphs import load, make_node_features, rmat, star
+from repro.kernels import gspmm
+from repro.kernels.semiring import get_semiring
 
 
 class TestDeterminism:
@@ -36,3 +39,86 @@ class TestDeterminism:
             assert sigs_first == sigs_second
         finally:
             pass  # cache repopulated by the second compile
+
+
+class TestSpmmStrategyDeterminism:
+    """The SpMM strategies are bitwise deterministic and bitwise equal.
+
+    Every row reduces inside exactly one block span, accumulated
+    sequentially in CSR edge order by ``reduceat`` — so neither thread
+    scheduling nor the block budget can reassociate a floating-point
+    sum (see the determinism note in ``repro.kernels.blocked``).  The
+    plan-equivalence harness leans on this: strategy-induced drift would
+    otherwise blur into plan-divergence signal.
+    """
+
+    STRATEGIES = ("row_segment", "gather_scatter", "blocked", "blocked_parallel")
+    # gather_scatter reduces via ufunc.at rather than reduceat, which may
+    # reassociate within rounding; it is still run-to-run deterministic
+    BITWISE = ("row_segment", "blocked", "blocked_parallel")
+
+    def graph_and_feats(self):
+        g = rmat(96, 6.0, seed=9)
+        x = np.random.default_rng(17).standard_normal((96, 7))
+        return g.adj.add_self_loops(), x
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_repeated_runs_bitwise_identical(self, strategy):
+        adj, x = self.graph_and_feats()
+        first = gspmm(adj, x, strategy=strategy)
+        for _ in range(3):
+            assert np.array_equal(first, gspmm(adj, x, strategy=strategy))
+
+    def test_tiled_strategies_bitwise_equal_to_row_segment(self):
+        adj, x = self.graph_and_feats()
+        baseline = gspmm(adj, x, strategy="row_segment")
+        for strategy in self.BITWISE[1:]:
+            assert np.array_equal(
+                baseline, gspmm(adj, x, strategy=strategy)
+            ), strategy
+        # gather_scatter may reassociate, but only within rounding
+        np.testing.assert_allclose(
+            baseline, gspmm(adj, x, strategy="gather_scatter"),
+            rtol=1e-12, atol=1e-13,
+        )
+
+    @pytest.mark.parametrize("block_nnz", (1, 7, 64, 10**6))
+    def test_blocked_invariant_to_block_size(self, block_nnz):
+        adj, x = self.graph_and_feats()
+        baseline = gspmm(adj, x, strategy="row_segment")
+        assert np.array_equal(
+            baseline, gspmm(adj, x, strategy="blocked", block_nnz=block_nnz)
+        )
+
+    @pytest.mark.parametrize("num_threads", (1, 2, 4))
+    def test_parallel_invariant_to_thread_count(self, num_threads):
+        adj, x = self.graph_and_feats()
+        baseline = gspmm(adj, x, strategy="row_segment")
+        assert np.array_equal(
+            baseline,
+            gspmm(
+                adj, x, strategy="blocked_parallel",
+                block_nnz=16, num_threads=num_threads,
+            ),
+        )
+
+    def test_skewed_graph_and_mean_semiring(self):
+        # star graphs put one giant row in its own oversized span; mean
+        # adds the degree-division epilogue to the comparison
+        adj = star(200).adj.add_self_loops()
+        x = np.random.default_rng(3).standard_normal((200, 4))
+        semiring = get_semiring("mean", "copy_rhs")
+        baseline = gspmm(adj, x, semiring, strategy="row_segment")
+        for strategy in self.BITWISE[1:]:
+            assert np.array_equal(
+                baseline, gspmm(adj, x, semiring, strategy=strategy)
+            ), strategy
+
+    def test_env_thread_override_does_not_change_bits(self, monkeypatch):
+        adj, x = self.graph_and_feats()
+        baseline = gspmm(adj, x, strategy="blocked_parallel", block_nnz=16)
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        assert np.array_equal(
+            baseline,
+            gspmm(adj, x, strategy="blocked_parallel", block_nnz=16),
+        )

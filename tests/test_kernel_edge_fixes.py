@@ -1,0 +1,112 @@
+"""Regression tests for kernel edge-case fixes.
+
+Pins two classes of bug:
+
+- ``edge_softmax`` produced NaN on fully-masked rows (all-``-inf``
+  logits): ``-inf - (-inf)`` in the max-shift, then ``0 / 0`` in the
+  normalisation.  Masked attention (padding, subgraph masking) makes
+  such rows routine.
+- CSR structural arrays silently inherited narrow integer dtypes from
+  caller input (or from ``np.bincount``'s platform-dependent ``intp``),
+  risking int32 overflow in cumulative sums near 2**31 nonzeros.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import edge_softmax
+from repro.sparse import CSRMatrix
+
+
+def csr_from_rows(row_lists, n_cols=None):
+    """Build an unweighted CSR from per-row column lists."""
+    indptr = np.cumsum([0] + [len(r) for r in row_lists])
+    indices = np.concatenate([np.asarray(r, dtype=np.int64) for r in row_lists if r] or [np.empty(0, dtype=np.int64)])
+    n_cols = n_cols or (int(indices.max()) + 1 if indices.size else 1)
+    return CSRMatrix(indptr, indices, None, (len(row_lists), n_cols))
+
+
+class TestEdgeSoftmaxMaskedRows:
+    def test_fully_masked_row_yields_zeros_not_nan(self):
+        adj = csr_from_rows([[0, 1], [1, 2]], n_cols=3)
+        logits = np.array([-np.inf, -np.inf, 0.5, 1.5])
+        out = edge_softmax(adj, logits)
+        assert np.isfinite(out.values).all()
+        np.testing.assert_allclose(out.values[:2], 0.0)
+        # the untouched row still softmaxes normally
+        np.testing.assert_allclose(out.values[2:].sum(), 1.0)
+
+    def test_all_rows_masked(self):
+        adj = csr_from_rows([[0], [0, 1]], n_cols=2)
+        logits = np.full(3, -np.inf)
+        out = edge_softmax(adj, logits)
+        np.testing.assert_array_equal(out.values, 0.0)
+
+    def test_partially_masked_row_renormalises(self):
+        adj = csr_from_rows([[0, 1, 2]], n_cols=3)
+        logits = np.array([-np.inf, 0.0, 0.0])
+        out = edge_softmax(adj, logits)
+        np.testing.assert_allclose(out.values, [0.0, 0.5, 0.5])
+
+    def test_unmasked_rows_unchanged_by_guard(self):
+        rng = np.random.default_rng(3)
+        adj = csr_from_rows([[0, 1, 2], [1, 3], [0, 2, 3, 4]], n_cols=5)
+        logits = rng.standard_normal(adj.nnz)
+        out = edge_softmax(adj, logits)
+        for r in range(3):
+            seg = out.values[adj.indptr[r]:adj.indptr[r + 1]]
+            expected = np.exp(logits[adj.indptr[r]:adj.indptr[r + 1]])
+            np.testing.assert_allclose(seg, expected / expected.sum())
+
+    def test_empty_rows_and_empty_graph(self):
+        adj = csr_from_rows([[], [0], []], n_cols=2)
+        out = edge_softmax(adj, np.array([2.0]))
+        np.testing.assert_allclose(out.values, [1.0])
+        empty = csr_from_rows([[], []], n_cols=2)
+        out = edge_softmax(empty, np.empty(0))
+        assert out.values.shape == (0,)
+
+    def test_extreme_finite_logits_stay_stable(self):
+        adj = csr_from_rows([[0, 1]], n_cols=2)
+        out = edge_softmax(adj, np.array([1e4, -1e4]))
+        assert np.isfinite(out.values).all()
+        np.testing.assert_allclose(out.values, [1.0, 0.0], atol=1e-300)
+
+
+class TestCSRIndexDtypes:
+    def test_constructor_coerces_int32_inputs(self):
+        indptr = np.array([0, 1, 2], dtype=np.int32)
+        indices = np.array([1, 0], dtype=np.int32)
+        m = CSRMatrix(indptr, indices, None, (2, 2))
+        assert m.indptr.dtype == np.int64
+        assert m.indices.dtype == np.int64
+
+    def test_from_coo_int32_inputs_end_to_end(self):
+        rows = np.array([1, 0, 1, 0], dtype=np.int32)
+        cols = np.array([0, 1, 0, 0], dtype=np.int32)
+        m = CSRMatrix.from_coo(rows, cols, None, (2, 2))
+        assert m.indptr.dtype == np.int64
+        assert m.indices.dtype == np.int64
+        assert m.row_ids().dtype == np.int64
+        assert m.row_degrees().dtype == np.int64
+        # duplicates collapsed, structure intact
+        np.testing.assert_array_equal(m.to_dense(), [[1, 1], [1, 0]])
+
+    def test_transpose_preserves_int64(self):
+        rows = np.array([0, 2, 1], dtype=np.int32)
+        cols = np.array([2, 0, 1], dtype=np.int32)
+        m = CSRMatrix.from_coo(rows, cols, None, (3, 3))
+        t = m.transpose()
+        assert t.indptr.dtype == np.int64
+        assert t.indices.dtype == np.int64
+
+    def test_derived_matrices_stay_int64(self):
+        rows = np.array([0, 1, 2], dtype=np.int32)
+        cols = np.array([1, 2, 0], dtype=np.int32)
+        m = CSRMatrix.from_coo(rows, cols, None, (3, 3))
+        assert m.add_self_loops().indptr.dtype == np.int64
+        sub = m.submatrix(np.array([0, 1], dtype=np.int32), np.array([0, 1], dtype=np.int32))
+        assert sub.indptr.dtype == np.int64
+        assert sub.indices.dtype == np.int64
+        w = m.with_values(np.ones(m.nnz))
+        assert w.indptr.dtype == np.int64
