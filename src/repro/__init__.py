@@ -22,17 +22,52 @@ Subpackages
 ``repro.learn``      Gradient-boosted regression trees (XGBoost stand-in).
 ``repro.hardware``   Device timing models (cpu / a100 / h100).
 ``repro.experiments`` Drivers reproducing every table and figure.
+``repro.config``     Validated ``REPRO_*`` environment knobs.
+``repro.errors``     The structured ``GraniiError`` hierarchy.
+``repro.faults``     Deterministic fault injection + the chaos driver.
 """
 
 __version__ = "1.0.0"
 
-from . import core, framework, graphs, hardware, kernels, learn, models, sparse, tensor
+from . import (
+    config,
+    core,
+    errors,
+    faults,
+    framework,
+    graphs,
+    hardware,
+    kernels,
+    learn,
+    models,
+    sparse,
+    tensor,
+)
+from .errors import (
+    GraniiBudgetError,
+    GraniiConfigError,
+    GraniiDeadlineError,
+    GraniiError,
+    GraniiExecutionError,
+    GraniiInputError,
+    GraniiMemoryError,
+)
 from .granii import GRANII
 
 __all__ = [
     "GRANII",
+    "GraniiBudgetError",
+    "GraniiConfigError",
+    "GraniiDeadlineError",
+    "GraniiError",
+    "GraniiExecutionError",
+    "GraniiInputError",
+    "GraniiMemoryError",
     "__version__",
+    "config",
     "core",
+    "errors",
+    "faults",
     "framework",
     "graphs",
     "hardware",

@@ -22,11 +22,30 @@ from .profiler import ProfileDataset, collect_profile
 __all__ = [
     "CostModelSet",
     "clear_cost_model_cache",
+    "estimate_transient_bytes",
     "get_cost_models",
     "load_cost_models",
     "save_cost_models",
     "train_cost_models",
 ]
+
+
+def estimate_transient_bytes(calls: Iterable[KernelCall]) -> float:
+    """Largest per-kernel scratch footprint across a call sequence.
+
+    Complements the plan-level ``peak_memory_bytes`` (which tracks live
+    *outputs*): kernels such as g-SpMM also materialise transient message
+    buffers sized by the edge count, and the execution guard's memory
+    budget must account for the biggest of them.  Transients don't
+    accumulate — each kernel frees its scratch before the next runs — so
+    the max, not the sum, is the right aggregate.
+    """
+    from ..kernels.registry import transient_bytes
+
+    peak = 0.0
+    for call in calls:
+        peak = max(peak, transient_bytes(call.primitive, call.shape))
+    return peak
 
 
 class CostModelSet:

@@ -42,6 +42,7 @@ from ..kernels import (
     spmm,
     spmm_unweighted,
 )
+from ..kernels.registry import dispatch_kernel, transient_bytes
 from ..sparse import CSRMatrix, DiagonalMatrix
 from ..tensor import Tensor
 from ..tensor import elu as t_elu
@@ -383,13 +384,7 @@ class Plan:
             workspace = 0.0
             s_calls = self._step_calls(step, env)
             for call in s_calls:
-                shp = call.shape
-                if call.primitive in ("spmm", "spmm_unweighted", "sddmm"):
-                    workspace += 8.0 * shp["nnz"] * shp.get("k", 1)
-                elif call.primitive in ("gsddmm_attn", "edge_softmax"):
-                    workspace += 16.0 * shp["nnz"]
-                elif call.primitive == "fused_attn_spmm":
-                    workspace += 24.0 * shp["nnz"]  # streaming, no nnz×k blowup
+                workspace += transient_bytes(call.primitive, call.shape)  # streaming, no nnz×k blowup
             out_bytes = self._value_bytes(step.out_desc, env)
             total += out_bytes
             peak = max(peak, total + workspace)
@@ -409,6 +404,7 @@ class Plan:
         mode: str = "numpy",
         setup_cache: Optional[Dict[str, object]] = None,
         kernel_config: Optional[KernelExecutionConfig] = None,
+        budget=None,
     ):
         """Run the plan; returns the output value.
 
@@ -417,6 +413,15 @@ class Plan:
         When ``kernel_config`` selects a blocked strategy, the cache also
         carries the :class:`~repro.kernels.workspace.WorkspaceArena`, so
         scratch tiles are allocated once and reused every iteration.
+
+        ``budget`` (an :class:`~repro.core.guard.ExecutionBudget`) is
+        consulted after every step — wall-clock deadline and resident
+        intermediate bytes — so a runaway plan is stopped *between*
+        kernels rather than only noticed at the end.  Every step runs
+        through :func:`~repro.kernels.registry.dispatch_kernel`, the
+        wrappable seam faults and instrumentation attach to; an escaping
+        exception is annotated with ``granii_step`` / ``granii_primitive``
+        so the guard can attribute the failure.
         """
         if mode not in ("numpy", "tensor"):
             raise ValueError("mode must be 'numpy' or 'tensor'")
@@ -435,16 +440,39 @@ class Plan:
                 (k, v) for k, v in setup_cache.items()
                 if k != WORKSPACE_CACHE_KEY
             )
+        if budget is not None:
+            budget.start()
         for step in self.steps:
             if step.out in env:
                 continue
-            value = _execute_step(
-                step, env, mode, binding, kernel_config, workspace
-            )
+            try:
+                value = dispatch_kernel(
+                    step.primitive,
+                    lambda: _execute_step(
+                        step, env, mode, binding, kernel_config, workspace
+                    ),
+                    tag=step.out,
+                )
+            except Exception as exc:
+                _annotate_failure(exc, step)
+                raise
             env[step.out] = value
             if setup_cache is not None and step.out in self._setup_outs:
                 setup_cache[step.out] = value
+            if budget is not None:
+                budget.on_step(step, value)
         return env[self.candidate.output]
+
+
+def _annotate_failure(exc: BaseException, step: Step) -> None:
+    """Tag an escaping exception with the step that raised it (best effort)."""
+    if getattr(exc, "granii_step", None) is not None:
+        return
+    try:
+        exc.granii_step = step.out
+        exc.granii_primitive = step.primitive
+    except (AttributeError, TypeError):  # pragma: no cover - slotted exc
+        pass
 
 
 def _execute_step(

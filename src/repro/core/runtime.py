@@ -16,7 +16,6 @@ reported, mirroring the paper's overhead accounting (§VI-C1).
 
 from __future__ import annotations
 
-import os
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -24,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import config
 from ..framework import MPGraph, get_system
 from ..graphs import Graph
 from ..hardware import get_device
@@ -33,6 +33,7 @@ from .bindings import build_binding, model_ir_kwargs, model_ir_name
 from .codegen import CompiledModel, PlannedCandidate, compile_model
 from .costmodel import CostModelSet, get_cost_models
 from .features import featurize_graph
+from .guard import CircuitBreaker, DemotionRecord, GuardedExecutor
 from .ir import ShapeEnv
 from .plan import KernelExecutionConfig, Plan
 
@@ -69,10 +70,37 @@ class SelectionReport:
     # executor fell back to the reference composition — see verify_note)
     verified: Optional[bool] = None
     verify_note: str = ""
+    # guarded-execution bookkeeping: surviving candidates cheapest-first
+    # (the fallback ladder), demotions taken at runtime, and the breaker
+    # snapshot at the time of the last demotion
+    ranked: List[PlannedCandidate] = field(default_factory=list)
+    demotions: List[DemotionRecord] = field(default_factory=list)
+    breaker_state: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    last_error: str = ""
 
     @property
     def label(self) -> str:
         return self.chosen.label
+
+    def describe(self) -> str:
+        """Human-readable selection summary, including any fallback chain."""
+        lines = [
+            f"{self.model_name}: chose {self.label}#{self.chosen.plan.name} "
+            f"@ {self.spmm_strategy} "
+            f"(scenario={self.scenario}, candidates={self.viable_count})"
+        ]
+        if self.verified is not None:
+            status = "ok" if self.verified else "DIVERGED"
+            lines.append(f"  verification: {status} — {self.verify_note}")
+        for record in self.demotions:
+            lines.append(f"  demoted: {record.describe()}")
+        for key, entry in sorted(self.breaker_state.items()):
+            state = "OPEN" if entry.get("open") else "closed"
+            lines.append(
+                f"  breaker {key}: {state} "
+                f"({int(entry.get('failures', 0))} failures)"
+            )
+        return "\n".join(lines)
 
 
 @dataclass
@@ -125,6 +153,8 @@ class GraniiEngine:
         block_nnz: Optional[int] = None,
         num_threads: Optional[int] = None,
         verify_plans: Optional[bool] = None,
+        guarded: Optional[bool] = None,
+        breakers: Optional[CircuitBreaker] = None,
     ) -> None:
         if mode not in ("inference", "training"):
             raise ValueError("mode must be 'inference' or 'training'")
@@ -142,12 +172,14 @@ class GraniiEngine:
         self.block_nnz = block_nnz
         self.num_threads = num_threads
         if verify_plans is None:
-            verify_plans = os.environ.get(
-                "REPRO_VERIFY_PLANS", ""
-            ).strip().lower() in ("1", "true", "yes", "on")
+            verify_plans = config.verify_plans()
         # double-execute the chosen plan against the reference composition
         # on its first iteration; on divergence fall back to the reference
         self.verify_plans = bool(verify_plans)
+        # guarded execution (REPRO_GUARD): executors run behind the
+        # admission gate, budgets, and the fallback ladder of core.guard
+        self.guarded = config.guard_enabled() if guarded is None else bool(guarded)
+        self.breakers = breakers if breakers is not None else CircuitBreaker()
         self._cost_models = cost_models
         self._graph_vec_cache: Dict[int, np.ndarray] = {}
 
@@ -245,6 +277,12 @@ class GraniiEngine:
         the offline training pass on its own (a single-candidate
         selection must stay overhead-free), falling back to
         ``row_segment`` when no models are loaded.
+
+        Strategies whose ``("spmm", strategy)`` circuit breaker is open
+        (repeated runtime failures within the cooldown window) are
+        excluded from auto selection; they rejoin the pool automatically
+        once the cooldown elapses.  ``row_segment`` — the reference
+        strategy — is never excluded.
         """
         if self.spmm_strategy != "auto":
             return self.spmm_strategy, {}
@@ -262,6 +300,8 @@ class GraniiEngine:
             "row_segment": models.predict_calls(spmm_calls, graph_vec, eff)
         }
         for strategy, primitive in _SPMM_STRATEGY_PRIMITIVES.items():
+            if self.breakers.is_open("spmm", strategy):
+                continue
             variant = [
                 KernelCall(primitive, dict(c.shape), tag=c.tag)
                 for c in spmm_calls
@@ -314,13 +354,16 @@ class GraniiEngine:
         predicted: Dict[str, float] = {}
         if len(viable) == 1:
             chosen = viable[0]
+            ranked = list(viable)
         else:
             costs = [
                 self.predict_plan_cost(p.plan, env, graph_vec) for p in viable
             ]
             for p, c in zip(viable, costs):
                 predicted[f"{p.label}#{p.plan.name}"] = c
-            chosen = viable[int(np.argmin(costs))]
+            order = np.argsort(costs, kind="stable")
+            ranked = [viable[int(i)] for i in order]
+            chosen = ranked[0]
         spmm_strategy, strategy_costs = self.select_spmm_strategy(
             chosen.plan, env, graph_vec
         )
@@ -337,6 +380,7 @@ class GraniiEngine:
             memory_filtered_count=memory_filtered,
             spmm_strategy=spmm_strategy,
             strategy_costs=strategy_costs,
+            ranked=ranked,
         )
 
     # ------------------------------------------------------------------
@@ -346,6 +390,7 @@ class GraniiEngine:
         planned: PlannedCandidate,
         spmm_strategy: str = "row_segment",
         selection: Optional[SelectionReport] = None,
+        guarded: Optional[bool] = None,
     ):
         """Wrap the chosen plan as a drop-in replacement for layer.forward.
 
@@ -356,7 +401,32 @@ class GraniiEngine:
         executor warns, records the outcome on ``selection``, and
         permanently falls back to the reference composition — a wrong
         plan degrades performance, never correctness.
+
+        With ``guarded`` (default: the engine's ``REPRO_GUARD`` setting)
+        the executor is a :class:`~repro.core.guard.GuardedExecutor`
+        instead: inputs pass an admission gate, every run is budgeted,
+        and failures demote down the plan ladder rather than escaping.
         """
+        if guarded is None:
+            guarded = self.guarded
+        if guarded:
+            if selection is None:
+                selection = SelectionReport(
+                    model_name=model_ir_name(layer),
+                    chosen=planned,
+                    scenario="",
+                    predicted_costs={},
+                    viable_count=1,
+                    feature_seconds=0.0,
+                    selection_seconds=0.0,
+                    spmm_strategy=spmm_strategy,
+                    ranked=[planned],
+                )
+            elif planned is not selection.chosen:
+                selection.chosen = planned
+            if selection.spmm_strategy != spmm_strategy:
+                selection.spmm_strategy = spmm_strategy
+            return GuardedExecutor(self, layer, selection)
         plan = planned.plan
         setup_caches: Dict[Tuple[int, str], Dict[str, object]] = {}
         kernel_config = None

@@ -1,0 +1,78 @@
+"""Structured error hierarchy for the guarded execution runtime.
+
+Every failure the runtime can surface deliberately derives from
+:class:`GraniiError`, so callers (and the chaos driver) can distinguish
+*structured* failures — input rejection, configuration mistakes, budget
+breaches, an exhausted fallback ladder — from genuine bugs escaping as
+raw ``IndexError`` / ``ValueError`` / NumPy broadcasting noise.
+
+Errors double-inherit from the builtin exception a pre-guard caller
+would have seen (``ValueError`` for input/config problems, ``TimeoutError``
+/ ``MemoryError`` for budget breaches, ``RuntimeError`` for execution
+failure), so introducing the hierarchy never breaks existing
+``except ValueError`` call sites.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GraniiError",
+    "GraniiInputError",
+    "GraniiConfigError",
+    "GraniiBudgetError",
+    "GraniiDeadlineError",
+    "GraniiMemoryError",
+    "GraniiExecutionError",
+]
+
+
+class GraniiError(Exception):
+    """Base class of every structured runtime failure."""
+
+
+class GraniiInputError(GraniiError, ValueError):
+    """An input (graph structure, feature matrix) failed admission checks.
+
+    Raised by the guard's admission gate and the sparse constructors with
+    an actionable message, instead of letting malformed data surface as a
+    downstream NumPy broadcast error or silent index wraparound.
+    """
+
+
+class GraniiConfigError(GraniiError, ValueError):
+    """A ``REPRO_*`` environment knob holds an unusable value.
+
+    The message always names the offending variable and the accepted
+    values, so a deployment typo fails loudly at parse time instead of
+    deep inside kernel setup.
+    """
+
+
+class GraniiBudgetError(GraniiError, RuntimeError):
+    """Base class for execution-budget breaches (deadline or memory)."""
+
+    def __init__(self, message: str, budget: float = 0.0, observed: float = 0.0):
+        super().__init__(message)
+        self.budget = float(budget)
+        self.observed = float(observed)
+
+
+class GraniiDeadlineError(GraniiBudgetError, TimeoutError):
+    """A plan ran past its wall-clock deadline."""
+
+
+class GraniiMemoryError(GraniiBudgetError, MemoryError):
+    """A plan's (estimated or observed) resident bytes exceeded the budget."""
+
+
+class GraniiExecutionError(GraniiError, RuntimeError):
+    """Every rung of the fallback ladder failed, including the reference.
+
+    Carries the per-rung failure chain so operators can see *why* each
+    fallback was exhausted; ``__cause__`` is the last underlying error.
+    """
+
+    def __init__(self, message: str, attempts=()):
+        super().__init__(message)
+        # (label, reason, repr(error)) per failed rung, outermost first
+        self.attempts = list(attempts)

@@ -3,7 +3,7 @@
 from . import messages as fn
 from .module import GNNModule
 from .mp import MPGraph
-from .systems import SYSTEM_NAMES, SYSTEMS, System, get_system
+from .systems import SYSTEM_NAMES, SYSTEMS, System, get_system, iter_systems
 
 __all__ = [
     "GNNModule",
@@ -13,4 +13,5 @@ __all__ = [
     "System",
     "fn",
     "get_system",
+    "iter_systems",
 ]

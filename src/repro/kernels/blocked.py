@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import config
 from ..sparse import CSRMatrix
 from .segment import segment_reduce
 from .semiring import Semiring, get_semiring
@@ -78,22 +79,18 @@ _BINARY_UFUNCS = {
 
 
 def default_block_nnz() -> int:
-    """Edge budget per block; override with ``REPRO_BLOCK_NNZ``."""
-    raw = os.environ.get("REPRO_BLOCK_NNZ", "")
-    try:
-        value = int(raw)
-    except ValueError:
-        return DEFAULT_BLOCK_NNZ
-    return value if value > 0 else DEFAULT_BLOCK_NNZ
+    """Edge budget per block; override with ``REPRO_BLOCK_NNZ``.
+
+    Invalid values raise :class:`~repro.errors.GraniiConfigError` naming
+    the variable (see :mod:`repro.config`) instead of being silently
+    replaced by the default.
+    """
+    return config.block_nnz(DEFAULT_BLOCK_NNZ)
 
 
 def default_num_threads() -> int:
     """Worker count for the parallel strategy; ``REPRO_NUM_THREADS`` wins."""
-    raw = os.environ.get("REPRO_NUM_THREADS", "")
-    try:
-        value = int(raw)
-    except ValueError:
-        value = 0
+    value = config.num_threads()
     if value > 0:
         return value
     return min(4, os.cpu_count() or 1)
@@ -204,15 +201,21 @@ def gspmm_blocked(
     out = np.empty((n, k), dtype=np.float64)
     spans = row_block_spans(adj.indptr, block_nnz)
     cap = max_span_nnz(adj.indptr, spans)
-    tile = workspace.request((cap, k)) if cap else None
-    for r0, r1 in spans:
-        e0, e1 = int(adj.indptr[r0]), int(adj.indptr[r1])
-        if e0 == e1:
-            identity = 0.0 if semiring.reduce.is_mean else semiring.reduce.identity
-            out[r0:r1] = identity
-            continue
-        messages = _block_messages(adj, x, semiring, e0, e1, tile)
-        _reduce_block_into(adj, messages, r0, r1, out, semiring)
+    try:
+        tile = workspace.request((cap, k)) if cap else None
+        for r0, r1 in spans:
+            e0, e1 = int(adj.indptr[r0]), int(adj.indptr[r1])
+            if e0 == e1:
+                identity = 0.0 if semiring.reduce.is_mean else semiring.reduce.identity
+                out[r0:r1] = identity
+                continue
+            messages = _block_messages(adj, x, semiring, e0, e1, tile)
+            _reduce_block_into(adj, messages, r0, r1, out, semiring)
+    except Exception:
+        # an exception mid-tile leaves a partially written (or oversized)
+        # buffer pooled; release it so the next caller starts clean
+        workspace.drop_buffers()
+        raise
     return _finalize_mean(adj, out, semiring)
 
 
@@ -269,9 +272,14 @@ def gspmm_parallel(
             identity = 0.0 if semiring.reduce.is_mean else semiring.reduce.identity
             out[r0:r1] = identity
             return
-        tile = thread_local_arena().request((cap, k))
-        messages = _block_messages(adj, x, semiring, e0, e1, tile)
-        _reduce_block_into(adj, messages, r0, r1, out, semiring)
+        try:
+            tile = thread_local_arena().request((cap, k))
+            messages = _block_messages(adj, x, semiring, e0, e1, tile)
+            _reduce_block_into(adj, messages, r0, r1, out, semiring)
+        except Exception:
+            # don't leave this worker's arena holding a poisoned tile
+            thread_local_arena().drop_buffers()
+            raise
 
     list(_pool(num_threads).map(run_span, spans))
     return _finalize_mean(adj, out, semiring)
@@ -313,25 +321,29 @@ def gsddmm_blocked(
     else:
         raise ValueError(f"unknown gsddmm op {op!r}")
     out = np.empty(k_out, dtype=np.float64)
-    for e0 in range(0, nnz, block_nnz):
-        e1 = min(e0 + block_nnz, nnz)
-        bn = e1 - e0
-        if op != "copy_rhs":
-            u_tile = workspace.request((min(block_nnz, nnz), u.shape[1]), slot=0)[:bn]
-            np.take(u, rows[e0:e1], axis=0, out=u_tile)
-        if op != "copy_lhs":
-            v_tile = workspace.request((min(block_nnz, nnz), v.shape[1]), slot=1)[:bn]
-            np.take(v, cols[e0:e1], axis=0, out=v_tile)
-        if op == "dot":
-            np.einsum("ek,ek->e", u_tile, v_tile, out=out[e0:e1])
-        elif op == "add":
-            np.add(u_tile, v_tile, out=out[e0:e1])
-        elif op == "mul":
-            np.multiply(u_tile, v_tile, out=out[e0:e1])
-        elif op == "sub":
-            np.subtract(u_tile, v_tile, out=out[e0:e1])
-        elif op == "copy_lhs":
-            out[e0:e1] = u_tile
-        else:
-            out[e0:e1] = v_tile
+    try:
+        for e0 in range(0, nnz, block_nnz):
+            e1 = min(e0 + block_nnz, nnz)
+            bn = e1 - e0
+            if op != "copy_rhs":
+                u_tile = workspace.request((min(block_nnz, nnz), u.shape[1]), slot=0)[:bn]
+                np.take(u, rows[e0:e1], axis=0, out=u_tile)
+            if op != "copy_lhs":
+                v_tile = workspace.request((min(block_nnz, nnz), v.shape[1]), slot=1)[:bn]
+                np.take(v, cols[e0:e1], axis=0, out=v_tile)
+            if op == "dot":
+                np.einsum("ek,ek->e", u_tile, v_tile, out=out[e0:e1])
+            elif op == "add":
+                np.add(u_tile, v_tile, out=out[e0:e1])
+            elif op == "mul":
+                np.multiply(u_tile, v_tile, out=out[e0:e1])
+            elif op == "sub":
+                np.subtract(u_tile, v_tile, out=out[e0:e1])
+            elif op == "copy_lhs":
+                out[e0:e1] = u_tile
+            else:
+                out[e0:e1] = v_tile
+    except Exception:
+        workspace.drop_buffers()
+        raise
     return out

@@ -10,14 +10,34 @@ A :class:`KernelCall` is the *symbolic* form of one primitive invocation —
 enough shape/sparsity metadata to cost it without executing it.  Lowered
 plans (``repro.core.codegen``) carry lists of KernelCalls alongside the
 executable closures.
+
+This module also owns the **wrappable dispatch seam**: plan execution
+routes every concrete primitive invocation through
+:func:`dispatch_kernel`, which threads the call through any registered
+wrappers.  Wrappers see ``(primitive_name, next_call, tag)`` and may
+observe, perturb, or replace the invocation — the fault-injection
+framework (:mod:`repro.faults`) and the guarded runtime's
+instrumentation both attach here, with zero overhead when no wrapper is
+installed.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping
+from typing import Callable, Dict, Iterator, List, Mapping
 
-__all__ = ["Primitive", "KernelCall", "PRIMITIVES", "get_primitive"]
+__all__ = [
+    "Primitive",
+    "KernelCall",
+    "PRIMITIVES",
+    "get_primitive",
+    "dispatch_kernel",
+    "kernel_wrapper",
+    "push_kernel_wrapper",
+    "remove_kernel_wrapper",
+    "transient_bytes",
+]
 
 
 @dataclass(frozen=True)
@@ -135,6 +155,82 @@ def get_primitive(name: str) -> Primitive:
         raise KeyError(
             f"unknown primitive {name!r}; choices: {sorted(PRIMITIVES)}"
         ) from None
+
+
+# ----------------------------------------------------------------------
+# Transient-memory model
+# ----------------------------------------------------------------------
+# Per-call scratch footprint beyond inputs and the output, in bytes.
+# This substrate's SpMM/SDDMM materialise per-edge messages; the fused
+# attention kernel streams and notably does not (part of fusion's
+# appeal).  Used by plan peak-memory estimates and the execution
+# memory budget.
+_TRANSIENT_BYTES: Dict[str, Callable[[Mapping[str, float]], float]] = {
+    "spmm": lambda s: 8.0 * s["nnz"] * s.get("k", 1),
+    "spmm_unweighted": lambda s: 8.0 * s["nnz"] * s.get("k", 1),
+    "sddmm": lambda s: 8.0 * s["nnz"] * s.get("k", 1),
+    "gsddmm_attn": lambda s: 16.0 * s["nnz"],
+    "edge_softmax": lambda s: 16.0 * s["nnz"],
+    "fused_attn_spmm": lambda s: 24.0 * s["nnz"],
+}
+
+
+def transient_bytes(primitive: str, shape: Mapping[str, float]) -> float:
+    """Estimated per-call scratch bytes of one primitive invocation."""
+    fn = _TRANSIENT_BYTES.get(primitive)
+    return float(fn(shape)) if fn is not None else 0.0
+
+
+# ----------------------------------------------------------------------
+# Wrappable dispatch
+# ----------------------------------------------------------------------
+# Wrapper signature: (primitive_name, next_call, tag) -> value, where
+# next_call is a zero-argument callable running the rest of the chain.
+KernelWrapper = Callable[[str, Callable[[], object], str], object]
+
+_KERNEL_WRAPPERS: List[KernelWrapper] = []
+
+
+def push_kernel_wrapper(wrapper: KernelWrapper) -> None:
+    """Install a dispatch wrapper; the most recently pushed runs outermost."""
+    _KERNEL_WRAPPERS.append(wrapper)
+
+
+def remove_kernel_wrapper(wrapper: KernelWrapper) -> None:
+    """Remove a previously pushed wrapper (no-op if absent)."""
+    try:
+        _KERNEL_WRAPPERS.remove(wrapper)
+    except ValueError:
+        pass
+
+
+@contextmanager
+def kernel_wrapper(wrapper: KernelWrapper) -> Iterator[None]:
+    """Scoped :func:`push_kernel_wrapper` / :func:`remove_kernel_wrapper`."""
+    push_kernel_wrapper(wrapper)
+    try:
+        yield
+    finally:
+        remove_kernel_wrapper(wrapper)
+
+
+def dispatch_kernel(
+    primitive: str, call: Callable[[], object], tag: str = ""
+) -> object:
+    """Run one concrete primitive invocation through the wrapper chain.
+
+    With no wrappers installed this is a plain function call; plan
+    execution funnels every step through here so faults and
+    instrumentation can interpose without touching kernel code.
+    """
+    if not _KERNEL_WRAPPERS:
+        return call()
+    chained = call
+    for wrapper in _KERNEL_WRAPPERS:
+        chained = (
+            lambda w=wrapper, nxt=chained: w(primitive, nxt, tag)
+        )
+    return chained()
 
 
 @dataclass(frozen=True)

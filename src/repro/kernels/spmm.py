@@ -31,12 +31,12 @@ which is what lets the engine pick a strategy per input.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
 import numpy as np
 
+from .. import config
 from ..sparse import CSRMatrix
 from .segment import segment_reduce
 from .semiring import Semiring, get_semiring
@@ -63,12 +63,14 @@ def default_spmm_strategy() -> str:
     An active :func:`spmm_strategy_override` takes precedence; otherwise
     ``REPRO_SPMM_STRATEGY`` overrides the built-in ``row_segment``
     default process-wide (handy for benchmarking a whole model under one
-    strategy without touching call sites).
+    strategy without touching call sites).  A value outside
+    :data:`SPMM_STRATEGIES` raises
+    :class:`~repro.errors.GraniiConfigError` naming the variable — a
+    typo'd strategy used to silently benchmark ``row_segment``.
     """
     if _STRATEGY_OVERRIDES:
         return _STRATEGY_OVERRIDES[-1]
-    name = os.environ.get("REPRO_SPMM_STRATEGY", "").strip()
-    return name if name in SPMM_STRATEGIES else "row_segment"
+    return config.spmm_strategy(SPMM_STRATEGIES) or "row_segment"
 
 
 @contextmanager

@@ -65,6 +65,16 @@ class WorkspaceArena:
     def num_buffers(self) -> int:
         return len(self._buffers)
 
+    def drop_buffers(self) -> None:
+        """Release every pooled buffer, keeping the hit/miss counters.
+
+        Called by the blocked kernels when an exception escapes
+        mid-execution: a partially written (or abnormally oversized)
+        tile must not be handed to the next caller, and the memory
+        behind a failed oversized request must not stay resident.
+        """
+        self._buffers.clear()
+
     def clear(self) -> None:
         self._buffers.clear()
         self.hits = 0

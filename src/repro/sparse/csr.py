@@ -18,6 +18,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import config
+from ..errors import GraniiInputError
+
 __all__ = ["CSRMatrix", "DiagonalMatrix"]
 
 
@@ -49,24 +52,46 @@ class CSRMatrix:
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
         if indptr.ndim != 1 or indices.ndim != 1:
-            raise ValueError("indptr and indices must be 1-D arrays")
+            raise GraniiInputError("indptr and indices must be 1-D arrays")
         if len(shape) != 2:
-            raise ValueError("shape must be a (nrows, ncols) pair")
+            raise GraniiInputError("shape must be a (nrows, ncols) pair")
         nrows, ncols = int(shape[0]), int(shape[1])
         if indptr.shape[0] != nrows + 1:
-            raise ValueError(
+            raise GraniiInputError(
                 f"indptr has length {indptr.shape[0]}, expected {nrows + 1}"
             )
         if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
-            raise ValueError("indptr must start at 0 and end at nnz")
-        if np.any(np.diff(indptr) < 0):
-            raise ValueError("indptr must be non-decreasing")
-        if indices.size and (indices.min() < 0 or indices.max() >= ncols):
-            raise ValueError("column index out of range")
+            raise GraniiInputError(
+                f"indptr must start at 0 and end at nnz={indices.shape[0]}; "
+                f"got indptr[0]={int(indptr[0])}, indptr[-1]={int(indptr[-1])}"
+            )
+        # O(N)/O(E) structural checks; a negative or >= ncols column
+        # index would otherwise wrap around silently in every kernel's
+        # fancy-indexing.  Skippable for trusted, hot construction paths
+        # via REPRO_SKIP_VALIDATION=1.
+        if not config.skip_validation():
+            if np.any(np.diff(indptr) < 0):
+                bad = int(np.argmax(np.diff(indptr) < 0))
+                raise GraniiInputError(
+                    f"indptr must be non-decreasing; it drops at row {bad} "
+                    f"({int(indptr[bad])} -> {int(indptr[bad + 1])})"
+                )
+            if indices.size:
+                lo, hi = int(indices.min()), int(indices.max())
+                if lo < 0 or hi >= ncols:
+                    offender = lo if lo < 0 else hi
+                    raise GraniiInputError(
+                        f"column index {offender} out of range for a matrix "
+                        f"with {ncols} columns; NumPy indexing would wrap "
+                        f"negative indices around silently"
+                    )
         if values is not None:
             values = np.asarray(values, dtype=np.float64)
             if values.shape != indices.shape:
-                raise ValueError("values must align with indices")
+                raise GraniiInputError(
+                    f"values has shape {values.shape}, expected "
+                    f"{indices.shape} to align with the nonzero pattern"
+                )
         self.indptr = indptr
         self.indices = indices
         self.values = values
@@ -170,10 +195,17 @@ class CSRMatrix:
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
         nrows, ncols = int(shape[0]), int(shape[1])
-        if rows.size and (rows.min() < 0 or rows.max() >= nrows):
-            raise ValueError("row index out of range")
-        if cols.size and (cols.min() < 0 or cols.max() >= ncols):
-            raise ValueError("column index out of range")
+        if not config.skip_validation():
+            if rows.size and (rows.min() < 0 or rows.max() >= nrows):
+                bad = int(rows.min()) if rows.min() < 0 else int(rows.max())
+                raise GraniiInputError(
+                    f"row index {bad} out of range for {nrows} rows"
+                )
+            if cols.size and (cols.min() < 0 or cols.max() >= ncols):
+                bad = int(cols.min()) if cols.min() < 0 else int(cols.max())
+                raise GraniiInputError(
+                    f"column index {bad} out of range for {ncols} columns"
+                )
         order = np.lexsort((cols, rows))
         rows = rows[order]
         cols = cols[order]

@@ -236,9 +236,14 @@ class TestStrategyDispatch:
         x = rng.standard_normal((12, 3))
         assert np.allclose(gspmm(adj, x), to_scipy(adj) @ x)
 
-    def test_bogus_env_var_ignored(self, monkeypatch):
+    def test_bogus_env_var_raises(self, monkeypatch):
+        # a typo'd strategy used to silently fall back to row_segment,
+        # quietly benchmarking the wrong kernel; it now fails loudly
+        from repro.errors import GraniiConfigError
+
         monkeypatch.setenv("REPRO_SPMM_STRATEGY", "quantum")
-        assert default_spmm_strategy() == "row_segment"
+        with pytest.raises(GraniiConfigError, match="REPRO_SPMM_STRATEGY"):
+            default_spmm_strategy()
 
 
 @pytest.fixture(scope="module")

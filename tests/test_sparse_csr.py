@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import GraniiError, GraniiInputError
 from repro.sparse import CSRMatrix, DiagonalMatrix
 
 from helpers import random_csr
@@ -73,6 +74,46 @@ class TestConstruction:
         assert mat.nnz == 0
         assert mat.density == 0.0
         assert np.array_equal(mat.to_dense(), np.zeros((2, 5)))
+
+
+class TestStructuralValidation:
+    """Structured admission errors and the REPRO_SKIP_VALIDATION gate."""
+
+    def test_errors_are_structured_and_back_compatible(self):
+        # GraniiInputError doubles as ValueError so existing call sites
+        # (and the old tests above) keep working
+        assert issubclass(GraniiInputError, ValueError)
+        assert issubclass(GraniiInputError, GraniiError)
+        with pytest.raises(GraniiInputError):
+            CSRMatrix([0, 2, 1], [0, 1], None, (2, 2))
+
+    def test_indptr_drop_location_reported(self):
+        with pytest.raises(GraniiInputError, match="drops at row 1"):
+            CSRMatrix([0, 2, 1, 2], [0, 1], None, (3, 2))
+
+    def test_out_of_range_column_names_offender(self):
+        with pytest.raises(GraniiInputError, match="column index 5"):
+            CSRMatrix([0, 1], [5], None, (1, 2))
+
+    def test_negative_column_mentions_wraparound(self):
+        with pytest.raises(GraniiInputError, match="wrap"):
+            CSRMatrix([0, 1], [-1], None, (1, 2))
+
+    def test_from_coo_range_checked(self):
+        with pytest.raises(GraniiInputError, match="row index 7"):
+            CSRMatrix.from_coo([7], [0], None, (2, 2))
+        with pytest.raises(GraniiInputError, match="column index -3"):
+            CSRMatrix.from_coo([0], [-3], None, (2, 2))
+
+    def test_skip_validation_gates_expensive_checks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SKIP_VALIDATION", "1")
+        # O(E) checks off: an out-of-range index constructs silently
+        mat = CSRMatrix([0, 1], [5], None, (1, 2))
+        assert mat.nnz == 1
+        CSRMatrix.from_coo([7], [0], None, (8, 2))  # row 7 valid for 8 rows
+        # O(1) shape consistency stays on even when skipping
+        with pytest.raises(GraniiInputError):
+            CSRMatrix([0, 1], [0], None, (2, 2))  # indptr length wrong
 
 
 class TestStructuralOps:
