@@ -1,0 +1,47 @@
+"""Static analysis for GRANII: plan verification and codebase linting.
+
+Two prongs, both purely static:
+
+- :mod:`repro.analysis.planlint` — an abstract interpreter over the
+  matrix IR and lowered plan steps.  It re-derives every step's result
+  description from the rule table under symbolic shape/sparsity/nnz
+  domains (:mod:`repro.analysis.domains`), flags SSA/alias/lifetime
+  hazards, and produces per-plan :class:`~repro.analysis.planlint.PlanVerdict`
+  records (proved facts + residual obligations) that
+  ``repro.core.pruning`` uses to reject statically-illegal trees before
+  cost modeling and ``repro.core.guard`` uses to skip redundant runtime
+  checks.
+- :mod:`repro.analysis.lint` — an AST linter enforcing the repository's
+  runtime invariants (``repro.config`` env discipline, ``WorkspaceArena``
+  allocation discipline, structured ``GraniiError`` handling, provably
+  disjoint writes in ``blocked_parallel`` closures).
+
+CLIs::
+
+    python -m repro.analysis              # planlint over the model zoo
+    python -m repro.analysis --self-test  # seeded-mutation self test
+    python -m repro.analysis.lint src/repro
+"""
+
+from .domains import AbstractMatrix, join_structure, structure_leq, structure_of
+from .planlint import (
+    Diagnostic,
+    PlanVerdict,
+    analyze_candidate,
+    analyze_plan,
+    analysis_env_key,
+    reject_illegal,
+)
+
+__all__ = [
+    "AbstractMatrix",
+    "Diagnostic",
+    "PlanVerdict",
+    "analyze_candidate",
+    "analyze_plan",
+    "analysis_env_key",
+    "reject_illegal",
+    "join_structure",
+    "structure_leq",
+    "structure_of",
+]

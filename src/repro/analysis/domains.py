@@ -1,0 +1,201 @@
+"""Abstract domains for plan verification.
+
+Three small lattices cover what the analyzer needs to prove:
+
+1. **Sparsity structure** — the chain ``diagonal ⊑ triangular ⊑
+   symmetric ⊑ general`` (plus ``dense`` as an incomparable top-of-use
+   element): every matrix the rule table produces is soundly described
+   by the *least* element it is known to satisfy, and joins move up the
+   chain.  ``diag · diag`` stays diagonal; anything multiplied into a
+   general sparse pattern is at best general.
+2. **Symbolic nnz bounds** — the upper-bound algebra the rule table
+   emits: ``N`` (a diagonal), ``E`` (the input pattern), ``E@k``
+   (k-deep SpGEMM fill), ``E+N`` (pattern ∪ diagonal).  The partial
+   order compares (depth, +N) component-wise; bounds with different
+   base symbols are incomparable.
+3. **Symbolic dims** — strings vs ints with
+   :func:`repro.core.ir.dims_compatible` semantics.
+
+:class:`AbstractMatrix` bundles one operand's abstract value; it is the
+state the interpreter in :mod:`repro.analysis.planlint` propagates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.ir import Dim, dims_compatible
+
+__all__ = [
+    "STRUCTURES",
+    "AbstractMatrix",
+    "structure_of",
+    "join_structure",
+    "structure_leq",
+    "nnz_rank",
+    "nnz_leq",
+    "compose_product_nnz",
+    "plus_diag_nnz",
+]
+
+# The sparsity chain, bottom to top.  "dense" sits outside the chain:
+# dense values carry no pattern, so structural reasoning does not apply.
+STRUCTURES = ("diagonal", "triangular", "symmetric", "general")
+_STRUCTURE_RANK = {name: i for i, name in enumerate(STRUCTURES)}
+
+
+def structure_of(attr: str, subattr: str) -> Optional[str]:
+    """Least structure element soundly describing a Table I attribute.
+
+    Adjacency patterns (weighted/unweighted) are undirected in the
+    paper's workloads but nothing downstream *relies* on symmetry, so
+    they are conservatively ``general``; only ``diagonal`` carries a
+    stronger invariant the rules exploit.  Dense operands return None.
+    """
+    if attr != "sparse":
+        return None
+    return "diagonal" if subattr == "diagonal" else "general"
+
+
+def structure_leq(a: str, b: str) -> bool:
+    """``a ⊑ b`` on the diagonal/triangular/symmetric/general chain."""
+    return _STRUCTURE_RANK[a] <= _STRUCTURE_RANK[b]
+
+
+def join_structure(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Least upper bound; None (dense) joins to None."""
+    if a is None or b is None:
+        return None
+    return STRUCTURES[max(_STRUCTURE_RANK[a], _STRUCTURE_RANK[b])]
+
+
+# ----------------------------------------------------------------------
+# nnz upper bounds
+# ----------------------------------------------------------------------
+def nnz_rank(sym: Optional[Dim]) -> Optional[Tuple[str, int, int]]:
+    """Decompose an nnz bound into ``(base, E-depth, +N flag)``.
+
+    Recognised forms: integers (exact counts), ``"N"``-style pure
+    symbols (depth 0), ``"E"`` (depth 1), ``"E@k"`` (depth k) and
+    ``"<sym>+N"``.  Returns None for forms the algebra cannot rank
+    (those compare as incomparable).
+    """
+    if sym is None:
+        return None
+    if isinstance(sym, int):
+        return ("#", sym, 0)
+    plus_n = 0
+    text = sym
+    if text.endswith("+N"):
+        plus_n = 1
+        text = text[: -len("+N")]
+    if text == "E":
+        return ("E", 1, plus_n)
+    if text.startswith("E@"):
+        try:
+            return ("E", int(text.split("@", 1)[1]), plus_n)
+        except ValueError:
+            return None
+    if text and "@" not in text and "+" not in text:
+        # a pure symbol such as "N": its own base at depth 0
+        return (text, 0, plus_n)
+    return None
+
+
+def nnz_leq(a: Optional[Dim], b: Optional[Dim]) -> Optional[bool]:
+    """Whether bound ``a ⊑ b``; None when the bounds are incomparable.
+
+    Within one base symbol the order is component-wise on
+    (depth, +N) — ``E ⊑ E@2`` (more fill allowed), ``E ⊑ E+N``.
+    Across bases (``N`` vs ``E``) nothing is known: a graph may have
+    fewer edges than nodes.
+    """
+    if a == b:
+        return True
+    ra, rb = nnz_rank(a), nnz_rank(b)
+    if ra is None or rb is None or ra[0] != rb[0]:
+        return None
+    return ra[1] <= rb[1] and ra[2] <= rb[2]
+
+
+def compose_product_nnz(a: Optional[Dim], b: Optional[Dim]) -> Optional[Dim]:
+    """nnz bound of a sparse·sparse product: E-depths add.
+
+    Mirrors the rule table's ``_product_nnz_symbol``; returns None when
+    either operand is outside the E-algebra (the caller then reports the
+    bound as unverifiable rather than wrong).
+    """
+    ra, rb = nnz_rank(a), nnz_rank(b)
+    if ra is None or rb is None or ra[0] != "E" or rb[0] != "E":
+        return None
+    if ra[2] or rb[2]:
+        return None
+    return f"E@{ra[1] + rb[1]}"
+
+
+def plus_diag_nnz(sp_nnz: Optional[Dim], diag_dim: Dim) -> Optional[Dim]:
+    """nnz bound of pattern ∪ diagonal (``spadd_diag``)."""
+    if sp_nnz is None:
+        return None
+    return f"{sp_nnz}+{diag_dim}"
+
+
+# ----------------------------------------------------------------------
+# Abstract values
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AbstractMatrix:
+    """The interpreter's knowledge about one operand.
+
+    ``structure`` is an element of :data:`STRUCTURES` for sparse values
+    and None for dense ones; ``nnz`` is a symbolic upper bound on stored
+    entries.  ``origin`` records the producing step signature (or the
+    leaf name) for diagnostics.
+    """
+
+    ref: str
+    attr: str  # 'dense' | 'sparse'
+    subattr: str
+    shape: Tuple[Dim, Dim]
+    nnz: Optional[Dim] = None
+    structure: Optional[str] = None
+    dtype: str = "float64"
+    origin: str = ""
+
+    @property
+    def is_diagonal(self) -> bool:
+        return self.subattr == "diagonal"
+
+    @property
+    def is_sparse_matrix(self) -> bool:
+        return self.attr == "sparse" and not self.is_diagonal
+
+    @property
+    def is_dense(self) -> bool:
+        return self.attr == "dense"
+
+    def describe(self) -> str:
+        nnz = f" nnz≤{self.nnz}" if self.nnz is not None else ""
+        return (
+            f"{self.ref}: {self.attr}.{self.subattr} "
+            f"{self.shape[0]}×{self.shape[1]}{nnz}"
+        )
+
+    def compatible_shape(self, other: Tuple[Dim, Dim]) -> bool:
+        return dims_compatible(self.shape[0], other[0]) and dims_compatible(
+            self.shape[1], other[1]
+        )
+
+
+def from_operand(operand, origin: str = "") -> AbstractMatrix:
+    """Lift a rule-table :class:`~repro.core.rules.Operand` description."""
+    return AbstractMatrix(
+        ref=operand.ref,
+        attr=operand.attr,
+        subattr=operand.subattr,
+        shape=tuple(operand.shape),
+        nnz=operand.nnz,
+        structure=structure_of(operand.attr, operand.subattr),
+        origin=origin or operand.ref,
+    )

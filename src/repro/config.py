@@ -55,6 +55,7 @@ __all__ = [
     "breaker_cooldown_seconds",
     "faults_spec",
     "faults_seed",
+    "override_env",
 ]
 
 _TRUE = frozenset({"1", "true", "yes", "on"})
@@ -216,3 +217,29 @@ def faults_spec() -> Optional[str]:
 def faults_seed() -> int:
     """``REPRO_FAULTS_SEED``: seed for probabilistic fault draws."""
     return env_int("REPRO_FAULTS_SEED", 0)
+
+
+def override_env(overrides):
+    """Temporarily set environment knobs; returns a restore callable.
+
+    The sanctioned way to flip ``REPRO_*`` values from drivers and tests
+    (the chaos harness uses it per fault schedule), keeping raw
+    ``os.environ`` access confined to this module::
+
+        restore = override_env({"REPRO_MEM_BUDGET_MB": "0.01"})
+        try:
+            ...
+        finally:
+            restore()
+    """
+    saved = {k: os.environ.get(k) for k in overrides}
+    os.environ.update(overrides)
+
+    def restore() -> None:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+    return restore

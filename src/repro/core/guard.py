@@ -243,11 +243,21 @@ class ExecutionBudget:
         self._started = time.perf_counter()
         self._resident_bytes = 0.0
 
-    def check_estimate(self, plan: Plan, env: ShapeEnv) -> None:
-        """Pre-execution gate on the plan's estimated peak memory."""
+    def check_estimate(
+        self, plan: Plan, env: ShapeEnv, precomputed: Optional[float] = None
+    ) -> None:
+        """Pre-execution gate on the plan's estimated peak memory.
+
+        ``precomputed`` supplies an estimate already derived for this
+        exact (plan, env) — the static analyzer proves one at selection
+        time — so the hot path skips re-walking every step's liveness.
+        """
         if self.memory_budget_bytes is None:
             return
-        estimate = plan.peak_memory_bytes(env)
+        estimate = (
+            precomputed if precomputed is not None
+            else plan.peak_memory_bytes(env)
+        )
         if estimate > self.memory_budget_bytes:
             raise GraniiMemoryError(
                 f"plan {plan.name!r} estimates a peak of "
@@ -484,13 +494,44 @@ class GuardedExecutor:
         self.rung += 1
 
     # ------------------------------------------------------------------
+    def _static_peak_estimate(self, plan, env) -> Optional[float]:
+        """Peak-memory estimate proved at selection time, if applicable.
+
+        The analyzer's verdict binds a specific (plan, shape-env) pair;
+        the fact is only reused when the executor is about to run that
+        exact pair — otherwise return None and let the budget recompute.
+        Reuse is recorded on ``selection.runtime_checks_skipped``.
+        """
+        verdict = getattr(self.selection, "analysis", None)
+        if (
+            verdict is None
+            or not verdict.ok
+            or plan is not self.selection.chosen.plan
+        ):
+            return None
+        estimate = verdict.facts.get("peak_memory_bytes")
+        if estimate is None:
+            return None
+        from ..analysis.planlint import analysis_env_key
+
+        if verdict.env_key != analysis_env_key(env):
+            return None
+        note = "memory_estimate:static"
+        if note not in self.selection.runtime_checks_skipped:
+            self.selection.runtime_checks_skipped.append(note)
+        return estimate
+
+    # ------------------------------------------------------------------
     def _run_rung(self, g, feat):
         planned, strategy = self.rungs[self.rung]
         plan = planned.plan
         mode = "tensor" if isinstance(feat, Tensor) else "numpy"
         env = self._env_for(g)
         budget = ExecutionBudget.for_plan(self._predicted_seconds(planned))
-        budget.check_estimate(plan, env)
+        precomputed = None
+        if budget.memory_budget_bytes is not None:
+            precomputed = self._static_peak_estimate(plan, env)
+        budget.check_estimate(plan, env, precomputed=precomputed)
         kernel_config = None
         if strategy != "row_segment":
             kernel_config = KernelExecutionConfig(

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..errors import GraniiAnalysisError
+
 __all__ = [
     "Dim",
     "ShapeEnv",
@@ -50,7 +52,10 @@ class ShapeEnv(dict):
         if isinstance(dim, int):
             return dim
         if dim not in self:
-            raise KeyError(f"unresolved symbolic dimension {dim!r}")
+            raise GraniiAnalysisError(
+                f"unresolved symbolic dimension {dim!r} "
+                f"(bound symbols: {sorted(map(str, self))})"
+            )
         return int(self[dim])
 
 
@@ -210,19 +215,79 @@ def flatten(node: IRNode) -> IRNode:
     raise TypeError(f"unknown IR node {node!r}")
 
 
+def dims_compatible(a: Dim, b: Dim) -> bool:
+    """Whether two symbolic dims can denote the same size.
+
+    Equal values always can; a symbol vs. an integer *might* (the binding
+    is unknown until a :class:`ShapeEnv` resolves it); two distinct
+    symbols, or two distinct integers, cannot.
+    """
+    if a == b:
+        return True
+    return isinstance(a, str) != isinstance(b, str)
+
+
 def ir_shape(node: IRNode) -> Tuple[Dim, Dim]:
-    """Symbolic (rows, cols) of an IR expression."""
+    """Symbolic (rows, cols) of an IR expression.
+
+    Raises :class:`~repro.errors.GraniiAnalysisError` (naming the
+    offending node) when the tree is dimensionally inconsistent: a
+    ``MatMul`` whose adjacent factors disagree on the contraction dim, an
+    ``Add`` over unequal shapes, or a ``RowBroadcast`` whose vector
+    length cannot match the matrix rows.
+    """
     if isinstance(node, Leaf):
         return node.shape
     if isinstance(node, MatMul):
-        return (ir_shape(node.children[0])[0], ir_shape(node.children[-1])[1])
+        shapes = [ir_shape(c) for c in node.children]
+        for left, right, lsh, rsh in zip(
+            node.children, node.children[1:], shapes, shapes[1:]
+        ):
+            if not dims_compatible(lsh[1], rsh[0]):
+                raise GraniiAnalysisError(
+                    f"MatMul contraction mismatch: {ir_repr(left)} has "
+                    f"{lsh[1]!r} columns but {ir_repr(right)} has "
+                    f"{rsh[0]!r} rows, in {ir_repr(node)}",
+                    node=ir_repr(node),
+                )
+        return (shapes[0][0], shapes[-1][1])
     if isinstance(node, Add):
-        return ir_shape(node.children[0])
+        shapes = [ir_shape(c) for c in node.children]
+        first = shapes[0]
+        for child, shape in zip(node.children[1:], shapes[1:]):
+            if not (
+                dims_compatible(first[0], shape[0])
+                and dims_compatible(first[1], shape[1])
+            ):
+                raise GraniiAnalysisError(
+                    f"Add over unequal shapes: {ir_repr(node.children[0])} "
+                    f"is {first!r} but {ir_repr(child)} is {shape!r}, "
+                    f"in {ir_repr(node)}",
+                    node=ir_repr(node),
+                )
+        return first
     if isinstance(node, RowBroadcast):
-        return ir_shape(node.mat)
+        vec_shape = ir_shape(node.vec)
+        mat_shape = ir_shape(node.mat)
+        if not dims_compatible(vec_shape[0], mat_shape[0]):
+            raise GraniiAnalysisError(
+                f"RowBroadcast length mismatch: vector {ir_repr(node.vec)} "
+                f"has {vec_shape[0]!r} rows but matrix {ir_repr(node.mat)} "
+                f"has {mat_shape[0]!r}",
+                node=ir_repr(node),
+            )
+        return mat_shape
     if isinstance(node, Nonlinear):
         return ir_shape(node.child)
     if isinstance(node, Attention):
+        theta_shape = ir_shape(node.theta)
+        if not dims_compatible(node.pattern.shape[1], theta_shape[0]):
+            raise GraniiAnalysisError(
+                f"Attention mismatch: pattern {node.pattern.describe()} "
+                f"columns {node.pattern.shape[1]!r} vs theta "
+                f"{ir_repr(node.theta)} rows {theta_shape[0]!r}",
+                node=ir_repr(node),
+            )
         return node.pattern.shape
     raise TypeError(f"unknown IR node {node!r}")
 

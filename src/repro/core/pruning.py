@@ -164,8 +164,37 @@ class PrunedCandidate:
         return len(self.scenarios) == len(SCENARIOS)
 
 
-def prune_candidates(candidates: Sequence[Candidate]) -> List[PrunedCandidate]:
-    """The paper's offline pruning: dedupe, dominate, annotate, promote."""
+def prune_candidates(
+    candidates: Sequence[Candidate], analyze: bool = True
+) -> List[PrunedCandidate]:
+    """The paper's offline pruning: dedupe, dominate, annotate, promote.
+
+    With ``analyze`` (the default) every candidate first passes the
+    static plan verifier (:mod:`repro.analysis.planlint`); trees the
+    abstract interpreter rejects never reach cost signatures, let alone
+    the cost models.  A healthy rule table produces no rejections, so
+    this is a cheap invariant check in the common case — but it is the
+    load-bearing gate when rules or the enumerator change.  If *every*
+    candidate is statically illegal the enumeration itself is broken and
+    we raise :class:`~repro.errors.GraniiAnalysisError` carrying the
+    first verdict's diagnostics.
+    """
+    if analyze and candidates:
+        # imported lazily: repro.analysis imports this package's siblings
+        from ..analysis.planlint import reject_illegal
+        from ..errors import GraniiAnalysisError
+
+        legal, rejected = reject_illegal(candidates)
+        if rejected and not legal:
+            cand, verdict = rejected[0]
+            raise GraniiAnalysisError(
+                f"static analysis rejected every enumerated candidate "
+                f"({len(rejected)} total); first verdict:\n"
+                + verdict.describe(),
+                node=cand.output,
+                diagnostics=verdict.diagnostics,
+            )
+        candidates = legal
     # 1. collapse cost-equivalent duplicates
     by_sig: Dict[object, Candidate] = {}
     for cand in sorted(candidates, key=lambda c: (len(c.steps), c.describe())):

@@ -77,6 +77,11 @@ class SelectionReport:
     demotions: List[DemotionRecord] = field(default_factory=list)
     breaker_state: Dict[str, Dict[str, float]] = field(default_factory=dict)
     last_error: str = ""
+    # static-analysis verdict for the chosen plan under the selection env
+    # (a repro.analysis.planlint.PlanVerdict), and the runtime checks the
+    # guard skipped because the verdict already proved them
+    analysis: Optional[object] = None
+    runtime_checks_skipped: List[str] = field(default_factory=list)
 
     @property
     def label(self) -> str:
@@ -92,6 +97,15 @@ class SelectionReport:
         if self.verified is not None:
             status = "ok" if self.verified else "DIVERGED"
             lines.append(f"  verification: {status} — {self.verify_note}")
+        if self.analysis is not None:
+            status = "ok" if self.analysis.ok else "REJECTED"
+            lines.append(
+                f"  analysis: {status} "
+                f"(proved {len(self.analysis.proved)}, "
+                f"obligations {len(self.analysis.obligations)})"
+            )
+        for skipped in self.runtime_checks_skipped:
+            lines.append(f"  runtime check skipped (statically proved): {skipped}")
         for record in self.demotions:
             lines.append(f"  demoted: {record.describe()}")
         for key, entry in sorted(self.breaker_state.items()):
@@ -368,6 +382,11 @@ class GraniiEngine:
             chosen.plan, env, graph_vec
         )
         selection_seconds = time.perf_counter() - t1
+        # static verdict for the winner: proved facts let the guarded
+        # executor skip re-deriving them on the hot path (see guard.py)
+        from ..analysis.planlint import analyze_plan
+
+        verdict = analyze_plan(chosen.plan, env=env)
         return SelectionReport(
             model_name=compiled.model_name,
             chosen=chosen,
@@ -381,6 +400,7 @@ class GraniiEngine:
             spmm_strategy=spmm_strategy,
             strategy_costs=strategy_costs,
             ranked=ranked,
+            analysis=verdict,
         )
 
     # ------------------------------------------------------------------

@@ -59,6 +59,7 @@ from ..models import build_layer, uses_self_loops
 from ..models.zoo import MODEL_NAMES
 from ..sparse import CSRMatrix
 from ..tensor import Tensor
+from ..analysis.planlint import PlanVerdict, analyze_plan
 from .bindings import build_binding, model_ir_kwargs
 from .codegen import CompiledModel, PlannedCandidate, compile_model, select_default_plan
 from .plan import KernelExecutionConfig
@@ -767,6 +768,26 @@ def sweep(
         if progress is not None:
             progress(msg)
 
+    # Static gate: a plan planlint rejects must never reach execution —
+    # the sweep both enforces that and records it, so VERIFY_REPORT.json
+    # documents analyzer/harness agreement (see meta["analysis"]).
+    gate_cache: Dict[int, "PlanVerdict"] = {}
+    statically_rejected: List[str] = []
+
+    def static_verdict(planned: PlannedCandidate) -> "PlanVerdict":
+        key = id(planned.plan)
+        verdict = gate_cache.get(key)
+        if verdict is None:
+            verdict = analyze_plan(
+                planned.plan, strategies=("blocked", "blocked_parallel")
+            )
+            gate_cache[key] = verdict
+            if not verdict.ok:
+                statically_rejected.append(planned.plan.name)
+                say(f"planlint rejected {planned.plan.name}: "
+                    f"{len(verdict.errors)} error(s) — excluded from sweep")
+        return verdict
+
     for model in models:
         for in_size, out_size in sizes:
             layer = build_layer(
@@ -791,6 +812,8 @@ def sweep(
                         for plan_index, planned in enumerate(
                             compiled.promoted
                         ):
+                            if not static_verdict(planned).ok:
+                                continue
                             for strategy in strategies:
                                 result = _check_plan(
                                     layer, planned, plan_index, graph,
@@ -818,6 +841,18 @@ def sweep(
     report.meta["repro_files"] = sorted(
         {r.repro_path for r in report.results if r.repro_path}
     )
+    # analyzer/harness agreement: every executed check belongs to a
+    # statically-ok plan (rejected ones were excluded above), so dynamic
+    # divergences among them are exactly the analyzer's blind spots
+    report.meta["analysis"] = {
+        "plans_analyzed": len(gate_cache),
+        "statically_rejected": sorted(set(statically_rejected)),
+        "verdict_agreement": {
+            "static_ok_checks": report.num_checks,
+            "dynamic_divergent": len(report.failures),
+            "agree": report.passed,
+        },
+    }
     return report
 
 

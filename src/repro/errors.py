@@ -23,6 +23,7 @@ __all__ = [
     "GraniiDeadlineError",
     "GraniiMemoryError",
     "GraniiExecutionError",
+    "GraniiAnalysisError",
 ]
 
 
@@ -76,3 +77,28 @@ class GraniiExecutionError(GraniiError, RuntimeError):
         super().__init__(message)
         # (label, reason, repr(error)) per failed rung, outermost first
         self.attempts = list(attempts)
+
+
+class GraniiAnalysisError(GraniiError, KeyError, ValueError):
+    """Static analysis rejected an IR tree, plan, or shape binding.
+
+    Raised by :func:`repro.core.ir.ir_shape` / ``ShapeEnv.resolve`` on
+    unresolvable or inconsistent symbolic dimensions, and by
+    ``repro.analysis.planlint`` when a lowered plan violates a proved
+    invariant.  Inherits both ``KeyError`` (what ``resolve`` used to
+    raise on a missing symbol) and ``ValueError`` so pre-analysis
+    ``except`` sites keep working.
+
+    ``node`` optionally carries the offending IR node's ``describe()`` /
+    ``ir_repr`` text; ``diagnostics`` the analyzer findings.
+    """
+
+    def __init__(self, message: str, node: str = "", diagnostics=()):
+        super().__init__(message)
+        self.node = node
+        self.diagnostics = list(diagnostics)
+
+    # KeyError.__str__ repr-quotes its single argument, which would turn
+    # the message into an escaped blob; restore normal formatting.
+    def __str__(self) -> str:
+        return Exception.__str__(self)

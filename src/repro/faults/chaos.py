@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import config
 from ..core.costmodel import get_cost_models
 from ..core.runtime import GraniiEngine
 from ..errors import GraniiError, GraniiInputError
@@ -56,20 +56,6 @@ QUICK_SCHEDULES = ("spmm-crash", "any-crash", "corrupt", "mem-starved")
 QUICK_MODELS = ("gcn", "gat")
 
 IN_SIZE, OUT_SIZE = 16, 8
-
-
-def _env_overrides(overrides: Dict[str, str]):
-    saved = {k: os.environ.get(k) for k in overrides}
-    os.environ.update(overrides)
-
-    def restore() -> None:
-        for k, v in saved.items():
-            if v is None:
-                os.environ.pop(k, None)
-            else:
-                os.environ[k] = v
-
-    return restore
 
 
 def _fresh_engine(cost_models) -> GraniiEngine:
@@ -105,7 +91,7 @@ def run_case(
     model = build_layer(
         model_name, IN_SIZE, OUT_SIZE, rng=np.random.default_rng(0)
     )
-    restore = _env_overrides(env)
+    restore = config.override_env(env)
     record: Dict[str, object] = {
         "model": model_name,
         "schedule": schedule,

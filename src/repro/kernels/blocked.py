@@ -198,6 +198,8 @@ def gspmm_blocked(
     if workspace is None:
         workspace = WorkspaceArena()
     n, k = adj.shape[0], x.shape[1]
+    # result buffer, returned to the caller — the arena only owns
+    # per-tile scratch  # lint: allow(raw-alloc-in-kernels)
     out = np.empty((n, k), dtype=np.float64)
     spans = row_block_spans(adj.indptr, block_nnz)
     cap = max_span_nnz(adj.indptr, spans)
@@ -262,6 +264,8 @@ def gspmm_parallel(
             adj, x, semiring, block_nnz=block_nnz, workspace=thread_local_arena()
         )
     n, k = adj.shape[0], x.shape[1]
+    # result buffer, returned to the caller — the arena only owns
+    # per-tile scratch  # lint: allow(raw-alloc-in-kernels)
     out = np.empty((n, k), dtype=np.float64)
     cap = max_span_nnz(adj.indptr, spans)
 
@@ -320,6 +324,7 @@ def gsddmm_blocked(
         k_out = (nnz, u.shape[1])
     else:
         raise ValueError(f"unknown gsddmm op {op!r}")
+    # result buffer, returned to the caller  # lint: allow(raw-alloc-in-kernels)
     out = np.empty(k_out, dtype=np.float64)
     try:
         for e0 in range(0, nnz, block_nnz):

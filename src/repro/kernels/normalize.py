@@ -34,6 +34,7 @@ def degrees_by_binning(adj: CSRMatrix) -> np.ndarray:
     because WiseGraph's default composition uses this kernel and its cost
     behaves very differently on dense graphs (atomic contention).
     """
+    # result buffer, returned to the caller  # lint: allow(raw-alloc-in-kernels)
     out = np.zeros(adj.shape[0], dtype=np.float64)
     np.add.at(out, adj.row_ids(), 1.0)
     return out
