@@ -1,0 +1,174 @@
+"""Benchmark of process-parallel sharded SpMM against the blocked kernel.
+
+The acceptance bar for the sharded strategy (ISSUE 6): on a large R-MAT
+graph, ``spmm_sharded`` with 4 workers must beat the single-threaded
+``blocked`` strategy by at least 1.5x, and the engine's cost model must
+auto-select it there.  This bench measures both and writes
+``BENCH_sharded.json`` at the repository root (plus a copy under
+``benchmarks/output/``).  Invoke directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py [--quick] [--workers N]
+
+``--quick`` shrinks the graph and drops to 2 workers — the CI smoke
+configuration, which checks machinery (pool startup, shared-memory
+round-trip, clean shutdown) rather than the speedup bar.
+
+Why sharding wins here even on few cores: each shard is executed with a
+cache-sized tile chosen from the shard's own nnz (see
+``select_shard_plan``), so the win is partly parallelism and partly that
+per-shard tiles fit L2 where one global tile does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graphs import rmat  # noqa: E402
+from repro.hardware.timer import time_fn  # noqa: E402
+from repro.kernels import (  # noqa: E402
+    WorkspaceArena,
+    get_semiring,
+    gspmm,
+    live_segment_bytes,
+    release_segments,
+    shutdown_pool,
+)
+
+OUTPUT_PATH = Path(__file__).resolve().parent / "output" / "BENCH_sharded.json"
+ROOT_OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+
+FULL = dict(n=200_000, avg_degree=16, k=64, workers=4, repeats=3)
+QUICK = dict(n=30_000, avg_degree=12, k=32, workers=2, repeats=2)
+
+
+def build_inputs(n: int, avg_degree: float, k: int):
+    graph = rmat(n, avg_degree, seed=7)
+    adj = graph.adj.with_values(
+        np.random.default_rng(0).random(graph.adj.nnz) + 0.1
+    )
+    x = np.random.default_rng(1).standard_normal((adj.shape[1], k))
+    return graph, adj, x
+
+
+def engine_auto_selects(graph, k: int) -> dict:
+    """Does the engine's cost model pick spmm_sharded on this graph?"""
+    from repro.core.costmodel import get_cost_models
+    from repro.core.runtime import GraniiEngine
+    from repro.models import build_layer
+
+    feats = np.random.default_rng(2).standard_normal((graph.num_nodes, k))
+    layer = build_layer("gcn", k, 16, rng=np.random.default_rng(0))
+    engine = GraniiEngine(
+        device="cpu", system="dgl", cost_models=get_cost_models("cpu")
+    )
+    report = engine.optimize(layer, graph, feats)
+    selection = report.selections[0]
+    return {
+        "spmm_strategy": selection.spmm_strategy,
+        "strategy_costs": {
+            name: float(cost)
+            for name, cost in sorted(selection.strategy_costs.items())
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small graph, 2 workers (CI smoke)"
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args()
+    spec = dict(QUICK if args.quick else FULL)
+    if args.workers is not None:
+        spec["workers"] = max(1, args.workers)
+    if args.repeats is not None:
+        spec["repeats"] = max(1, args.repeats)
+
+    print(f"[bench_sharded] building rmat n={spec['n']} ...", flush=True)
+    graph, adj, x = build_inputs(spec["n"], spec["avg_degree"], spec["k"])
+    semiring = get_semiring("sum", "mul")
+    arena = WorkspaceArena()
+
+    # warmup=1 matters for the sharded side: the first call pays worker
+    # fork, shared-memory creation and page faults; steady state does not.
+    blocked_s, reference = time_fn(
+        lambda: gspmm(adj, x, semiring, strategy="blocked", workspace=arena),
+        repeats=spec["repeats"],
+        warmup=1,
+    )
+    print(f"[bench_sharded] blocked: {blocked_s * 1e3:.1f}ms", flush=True)
+    sharded_s, sharded_out = time_fn(
+        lambda: gspmm(
+            adj, x, semiring, strategy="spmm_sharded",
+            num_workers=spec["workers"],
+        ),
+        repeats=spec["repeats"],
+        warmup=1,
+    )
+    print(
+        f"[bench_sharded] spmm_sharded({spec['workers']}w): "
+        f"{sharded_s * 1e3:.1f}ms",
+        flush=True,
+    )
+    if not np.array_equal(sharded_out, reference):
+        raise AssertionError("spmm_sharded diverged from blocked (bitwise)")
+    speedup = blocked_s / sharded_s
+
+    selection = engine_auto_selects(graph, spec["k"])
+    shutdown_pool()
+    release_segments()
+    leaked = live_segment_bytes()
+
+    results = {
+        "config": {
+            "quick": args.quick,
+            "workers": spec["workers"],
+            "repeats": spec["repeats"],
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+        },
+        "graph": {
+            "kind": "rmat",
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "k": spec["k"],
+        },
+        "seconds": {"blocked": blocked_s, "spmm_sharded": sharded_s},
+        "speedup_sharded_vs_blocked": speedup,
+        "engine_selection": selection,
+        "leaked_segment_bytes": leaked,
+    }
+
+    OUTPUT_PATH.parent.mkdir(exist_ok=True)
+    payload = json.dumps(results, indent=2) + "\n"
+    OUTPUT_PATH.write_text(payload)
+    ROOT_OUTPUT_PATH.write_text(payload)
+    print(
+        f"[bench_sharded] speedup {speedup:.2f}x, engine selected "
+        f"{selection['spmm_strategy']!r}; wrote {ROOT_OUTPUT_PATH}",
+        flush=True,
+    )
+    if leaked:
+        print(f"[bench_sharded] ERROR: {leaked} shared-memory bytes leaked")
+        return 1
+    if not args.quick and speedup < 1.5:
+        print("[bench_sharded] ERROR: speedup below the 1.5x acceptance bar")
+        return 1
+    if not args.quick and selection["spmm_strategy"] != "spmm_sharded":
+        print("[bench_sharded] ERROR: engine did not auto-select spmm_sharded")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

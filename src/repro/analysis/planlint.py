@@ -56,6 +56,7 @@ __all__ = [
     "reject_illegal",
     "workspace_trace",
     "check_workspace_trace",
+    "shard_coverage_diagnostics",
 ]
 
 # Primitives whose blocked-strategy kernels tile through the arena.
@@ -535,8 +536,24 @@ def workspace_trace(plan, strategy: str = "blocked") -> List[Tuple[str, str, str
     exception edge (the guard's ``drop_buffers`` cleanup).  Events are
     ``(kind, buffer_key, step_out)`` with kind in ``acquire`` /
     ``release-normal`` / ``release-exception``.
+
+    The sharded strategy has the analogous obligation one level up:
+    every aggregation step acquires shared-memory segments (the dense
+    operand and output buffers) that must return to the parent's buffer
+    pool on the normal edge and be unlinked outright on the exception
+    edge (a recycled buffer a dead worker might still write to would
+    corrupt an unrelated call).
     """
     events: List[Tuple[str, str, str]] = []
+    if strategy == "spmm_sharded":
+        for step in plan.steps:
+            if step.primitive not in WORKSPACE_PRIMITIVES:
+                continue
+            key = f"segments:{step.out}"
+            events.append(("acquire", key, step.out))
+            events.append(("release-normal", key, step.out))
+            events.append(("release-exception", key, step.out))
+        return events
     if strategy not in ("blocked", "blocked_parallel"):
         return events
     for step in plan.steps:
@@ -547,6 +564,49 @@ def workspace_trace(plan, strategy: str = "blocked") -> List[Tuple[str, str, str
         events.append(("release-normal", key, step.out))
         events.append(("release-exception", key, step.out))
     return events
+
+
+def shard_coverage_diagnostics(bounds, num_rows: int) -> List[Diagnostic]:
+    """Check that row-shard bounds disjointly cover ``[0, num_rows)``.
+
+    The sharded strategy's correctness rests on workers writing disjoint
+    row ranges that together cover the output: bounds must start at 0,
+    end at ``num_rows``, and be non-decreasing (zero-row shards are
+    legal).  The executor performs this exact check at dispatch; this
+    pure function lets the linter (and tests) state it statically.
+    """
+    import numpy as np
+
+    bounds = np.asarray(bounds)
+    diags: List[Diagnostic] = []
+    if bounds.ndim != 1 or bounds.shape[0] < 2:
+        diags.append(Diagnostic(
+            "shard-coverage",
+            f"bounds must be a 1-D array of at least 2 entries, got "
+            f"shape {bounds.shape}",
+        ))
+        return diags
+    if int(bounds[0]) != 0:
+        diags.append(Diagnostic(
+            "shard-coverage",
+            f"first bound is {int(bounds[0])}, leaving rows "
+            f"[0, {int(bounds[0])}) unwritten",
+        ))
+    if int(bounds[-1]) != num_rows:
+        diags.append(Diagnostic(
+            "shard-coverage",
+            f"last bound is {int(bounds[-1])}, expected {num_rows}",
+        ))
+    drops = np.flatnonzero(np.diff(bounds) < 0)
+    if drops.size:
+        at = int(drops[0])
+        diags.append(Diagnostic(
+            "shard-coverage",
+            f"bounds decrease at shard {at} "
+            f"({int(bounds[at])} -> {int(bounds[at + 1])}): shards would "
+            f"overlap and double-write rows",
+        ))
+    return diags
 
 
 def check_workspace_trace(
@@ -592,6 +652,13 @@ def analyze_plan(
         verdict.proved.append(
             "workspace: arena acquire/release balanced on normal and "
             "exception edges for " + "/".join(strategies)
+        )
+    if "spmm_sharded" in strategies and any(
+        step.primitive in WORKSPACE_PRIMITIVES for step in plan.steps
+    ):
+        verdict.obligations.append(
+            "shard-coverage: sharded aggregation row bounds disjointly "
+            "cover the output (discharged at dispatch by kernels.sharded)"
         )
     if env is not None:
         verdict.env_key = analysis_env_key(env)

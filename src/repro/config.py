@@ -17,6 +17,10 @@ Knob reference
 --------------
 ``REPRO_BLOCK_NNZ``           edge budget per tile of the blocked kernels
 ``REPRO_NUM_THREADS``         worker count of the parallel strategy
+``REPRO_NUM_WORKERS``         process count of the sharded strategy
+``REPRO_SHARD_NNZ``           target edges per row shard (sharded strategy)
+``REPRO_SHARDED_TIMEOUT``     seconds before a sharded call is declared hung
+``REPRO_SHARD_CACHE_KB``      per-shard tile cache budget for plan selection
 ``REPRO_SPMM_STRATEGY``       process-wide default aggregation strategy
 ``REPRO_VERIFY_PLANS``        first-iteration differential verification
 ``REPRO_SKIP_VALIDATION``     skip O(E) structural checks in CSR builders
@@ -44,6 +48,10 @@ __all__ = [
     "env_choice",
     "block_nnz",
     "num_threads",
+    "num_workers",
+    "shard_nnz",
+    "sharded_timeout_seconds",
+    "shard_cache_kb",
     "spmm_strategy",
     "verify_plans",
     "skip_validation",
@@ -156,6 +164,26 @@ def block_nnz(default: int) -> int:
 def num_threads() -> int:
     """``REPRO_NUM_THREADS``: pool width; 0/unset means auto-size."""
     return env_int("REPRO_NUM_THREADS", 0, minimum=0)
+
+
+def num_workers() -> int:
+    """``REPRO_NUM_WORKERS``: sharded pool width; 0/unset means auto-size."""
+    return env_int("REPRO_NUM_WORKERS", 0, minimum=0)
+
+
+def shard_nnz() -> int:
+    """``REPRO_SHARD_NNZ``: target edges per row shard of the sharded SpMM."""
+    return env_int("REPRO_SHARD_NNZ", 262144, minimum=1)
+
+
+def sharded_timeout_seconds() -> float:
+    """``REPRO_SHARDED_TIMEOUT``: seconds before a sharded call is hung."""
+    return env_float("REPRO_SHARDED_TIMEOUT", 60.0, minimum=0.1)
+
+
+def shard_cache_kb() -> int:
+    """``REPRO_SHARD_CACHE_KB``: cache budget sizing each shard's tile."""
+    return env_int("REPRO_SHARD_CACHE_KB", 1024, minimum=8)
 
 
 def spmm_strategy(choices: Sequence[str]) -> Optional[str]:

@@ -244,24 +244,35 @@ class ExecutionBudget:
         self._resident_bytes = 0.0
 
     def check_estimate(
-        self, plan: Plan, env: ShapeEnv, precomputed: Optional[float] = None
+        self,
+        plan: Plan,
+        env: ShapeEnv,
+        precomputed: Optional[float] = None,
+        extra_bytes: float = 0.0,
     ) -> None:
         """Pre-execution gate on the plan's estimated peak memory.
 
         ``precomputed`` supplies an estimate already derived for this
         exact (plan, env) — the static analyzer proves one at selection
         time — so the hot path skips re-walking every step's liveness.
+        ``extra_bytes`` accounts strategy-specific residency outside the
+        plan's own intermediates (the sharded strategy's shared-memory
+        segments live in /dev/shm, but they are this plan's footprint).
         """
         if self.memory_budget_bytes is None:
             return
         estimate = (
             precomputed if precomputed is not None
             else plan.peak_memory_bytes(env)
-        )
+        ) + extra_bytes
         if estimate > self.memory_budget_bytes:
+            detail = (
+                f" (includes {extra_bytes / 2**20:.1f} MiB of shared-memory "
+                f"segments)" if extra_bytes else ""
+            )
             raise GraniiMemoryError(
                 f"plan {plan.name!r} estimates a peak of "
-                f"{estimate / 2**20:.1f} MiB, over the "
+                f"{estimate / 2**20:.1f} MiB{detail}, over the "
                 f"{self.memory_budget_bytes / 2**20:.1f} MiB budget "
                 f"(REPRO_MEM_BUDGET_MB)",
                 budget=self.memory_budget_bytes,
@@ -431,6 +442,10 @@ class GuardedExecutor:
         chosen = selection.chosen
         primary = selection.spmm_strategy
         self.rungs.append((chosen, primary))
+        if primary == "spmm_sharded":
+            # worker death / IPC timeout demotes to the in-process tiled
+            # kernel before falling all the way back to row_segment
+            self.rungs.append((chosen, "blocked"))
         if primary != "row_segment":
             self.rungs.append((chosen, "row_segment"))
         for planned in getattr(selection, "ranked", []):
@@ -531,13 +546,23 @@ class GuardedExecutor:
         precomputed = None
         if budget.memory_budget_bytes is not None:
             precomputed = self._static_peak_estimate(plan, env)
-        budget.check_estimate(plan, env, precomputed=precomputed)
+        extra_bytes = 0.0
+        if strategy == "spmm_sharded" and budget.memory_budget_bytes is not None:
+            from ..kernels.sharded import estimate_segment_bytes
+
+            extra_bytes = estimate_segment_bytes(
+                int(env["N"]), int(env["N"]), int(env["E"]), int(env["K1"])
+            )
+        budget.check_estimate(
+            plan, env, precomputed=precomputed, extra_bytes=extra_bytes
+        )
         kernel_config = None
         if strategy != "row_segment":
             kernel_config = KernelExecutionConfig(
                 strategy=strategy,
                 block_nnz=self.engine.block_nnz,
                 num_threads=self.engine.num_threads,
+                num_workers=self.engine.num_workers,
             )
         binding = build_binding(
             self.layer, g, feat, mode, self.engine.system.degree_method

@@ -73,17 +73,33 @@ WORKSPACE_CACHE_KEY = "__workspace__"
 
 @dataclass(frozen=True)
 class KernelExecutionConfig:
-    """How the numpy-mode executor should run its sparse aggregations.
+    """How the executor should run its sparse aggregations.
 
     ``strategy`` is one of :data:`~repro.kernels.spmm.SPMM_STRATEGIES`;
-    ``block_nnz``/``num_threads`` tune the blocked strategies and are
-    ignored by the one-shot ones.  ``None`` knobs defer to the kernel
-    defaults (``REPRO_BLOCK_NNZ`` / ``REPRO_NUM_THREADS``).
+    ``block_nnz``/``num_threads``/``num_workers`` tune the blocked and
+    sharded strategies and are ignored by the one-shot ones.  ``None``
+    knobs defer to the kernel defaults (``REPRO_BLOCK_NNZ`` /
+    ``REPRO_NUM_THREADS`` / ``REPRO_NUM_WORKERS``).  In tensor mode the
+    config steers the *forward* aggregation only — backward SpMMs stay on
+    the reference kernel (see :mod:`repro.tensor.sparse_ops`).
     """
 
     strategy: str = "row_segment"
     block_nnz: Optional[int] = None
     num_threads: Optional[int] = None
+    num_workers: Optional[int] = None
+
+
+def _tensor_spmm_knobs(kernel_config: Optional["KernelExecutionConfig"]) -> dict:
+    """Keyword knobs for the tensor-mode spmm ops (empty -> kernel defaults)."""
+    if kernel_config is None:
+        return {}
+    return {
+        "strategy": kernel_config.strategy,
+        "block_nnz": kernel_config.block_nnz,
+        "num_threads": kernel_config.num_threads,
+        "num_workers": kernel_config.num_workers,
+    }
 
 
 _SPMM_SEMIRINGS = {"spmm": ("sum", "mul"), "spmm_unweighted": ("sum", "copy_rhs")}
@@ -494,11 +510,16 @@ def _execute_step(
         sp, dn = args
         if isinstance(sp, EdgeSparse):
             if mode == "tensor":
-                return t_spmm_edge(sp.pattern, sp.values, _as_tensor(dn))
+                return t_spmm_edge(
+                    sp.pattern,
+                    sp.values,
+                    _as_tensor(dn),
+                    **_tensor_spmm_knobs(kernel_config),
+                )
             sp = sp.pattern.with_values(sp.values.data)
             p = "spmm"
         elif mode == "tensor":
-            return t_spmm(sp, _as_tensor(dn))
+            return t_spmm(sp, _as_tensor(dn), **_tensor_spmm_knobs(kernel_config))
         if kernel_config is not None:
             return gspmm(
                 sp,
@@ -507,6 +528,7 @@ def _execute_step(
                 strategy=kernel_config.strategy,
                 block_nnz=kernel_config.block_nnz,
                 num_threads=kernel_config.num_threads,
+                num_workers=kernel_config.num_workers,
                 workspace=workspace,
             )
         if p == "spmm_unweighted":

@@ -29,6 +29,7 @@ PROFILED_PRIMITIVES = (
     "spmm_unweighted",
     "spmm_blocked",
     "spmm_parallel",
+    "spmm_sharded",
     "sddmm",
     "sddmm_diag",
     "gsddmm_attn",
@@ -86,6 +87,8 @@ def _representative_calls(
         KernelCall("spmm_blocked", {"m": n, "nnz": nnz, "k": k2}),
         KernelCall("spmm_parallel", {"m": n, "nnz": nnz, "k": k1}),
         KernelCall("spmm_parallel", {"m": n, "nnz": nnz, "k": k2}),
+        KernelCall("spmm_sharded", {"m": n, "nnz": nnz, "k": k1}),
+        KernelCall("spmm_sharded", {"m": n, "nnz": nnz, "k": k2}),
         KernelCall("sddmm", {"m": n, "nnz": nnz, "k": k1}),
         KernelCall("sddmm_diag", {"m": n, "nnz": nnz}),
         KernelCall("gsddmm_attn", {"m": n, "nnz": nnz}),

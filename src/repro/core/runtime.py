@@ -47,6 +47,7 @@ __all__ = ["SelectionReport", "OptimizationReport", "GraniiEngine"]
 _SPMM_STRATEGY_PRIMITIVES = {
     "blocked": "spmm_blocked",
     "blocked_parallel": "spmm_parallel",
+    "spmm_sharded": "spmm_sharded",
 }
 
 
@@ -166,6 +167,7 @@ class GraniiEngine:
         spmm_strategy: str = "auto",
         block_nnz: Optional[int] = None,
         num_threads: Optional[int] = None,
+        num_workers: Optional[int] = None,
         verify_plans: Optional[bool] = None,
         guarded: Optional[bool] = None,
         breakers: Optional[CircuitBreaker] = None,
@@ -185,6 +187,7 @@ class GraniiEngine:
         self.spmm_strategy = spmm_strategy
         self.block_nnz = block_nnz
         self.num_threads = num_threads
+        self.num_workers = num_workers
         if verify_plans is None:
             verify_plans = config.verify_plans()
         # double-execute the chosen plan against the reference composition
@@ -455,6 +458,7 @@ class GraniiEngine:
                 strategy=spmm_strategy,
                 block_nnz=self.block_nnz,
                 num_threads=self.num_threads,
+                num_workers=self.num_workers,
             )
         degree_method = self.system.degree_method
         verify_state = {"pending": self.verify_plans, "fallback": False}

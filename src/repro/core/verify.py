@@ -779,7 +779,8 @@ def sweep(
         verdict = gate_cache.get(key)
         if verdict is None:
             verdict = analyze_plan(
-                planned.plan, strategies=("blocked", "blocked_parallel")
+                planned.plan,
+                strategies=("blocked", "blocked_parallel", "spmm_sharded"),
             )
             gate_cache[key] = verdict
             if not verdict.ok:

@@ -31,6 +31,12 @@ Actions
 ``overalloc``
     Raise ``MemoryError``, as a kernel whose scratch allocation blows
     past physical memory would.
+``kill_worker``
+    Arm a one-shot SIGKILL of a sharded-SpMM worker process
+    (:func:`repro.kernels.sharded.request_worker_kill`), then run the
+    kernel normally: if the dispatch executes under the ``spmm_sharded``
+    strategy, one worker dies mid-shard and the parent must detect the
+    dead pipe instead of hanging.  A no-op for in-process strategies.
 
 ``primitive`` may be ``*`` to match every kernel.  Probabilities are
 evaluated per dispatch from the plan's private RNG stream.
@@ -59,9 +65,15 @@ __all__ = [
     "parse_fault_spec",
 ]
 
-FAULT_ACTIONS = ("raise", "corrupt", "slow", "overalloc")
+FAULT_ACTIONS = ("raise", "corrupt", "slow", "overalloc", "kill_worker")
 
-_DEFAULT_PARAMS = {"raise": 0.0, "corrupt": 1e3, "slow": 0.25, "overalloc": 0.0}
+_DEFAULT_PARAMS = {
+    "raise": 0.0,
+    "corrupt": 1e3,
+    "slow": 0.25,
+    "overalloc": 0.0,
+    "kill_worker": 0.0,
+}
 
 
 class FaultInjected(RuntimeError):
@@ -219,6 +231,11 @@ class FaultPlan:
             if spec.action == "slow":
                 time.sleep(spec.effective_param)
                 continue  # then run the kernel normally
+            if spec.action == "kill_worker":
+                from ..kernels.sharded import request_worker_kill
+
+                request_worker_kill()
+                continue  # the sharded dispatch (if any) loses a worker
             if spec.action == "corrupt":
                 value = next_call()
                 return _corrupt(value, spec.effective_param)

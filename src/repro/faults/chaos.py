@@ -174,6 +174,73 @@ def _input_cases(graph, feats, cost_models, seed: int) -> List[Dict[str, object]
     return records
 
 
+def _sharded_kill_case(graph, feats, cost_models, seed: int) -> Dict[str, object]:
+    """Worker-death scenario: SIGKILL a sharded worker mid-shard.
+
+    The engine is pinned to ``spmm_sharded``; the ``kill_worker`` fault
+    arms a one-shot SIGKILL that fires inside the first faulted
+    dispatch.  The contract: the parent detects the dead pipe (no hang),
+    the ladder demotes to the in-process ``blocked`` rung with a
+    recorded demotion, and the clean call still matches the baseline.
+    """
+    from ..kernels.sharded import shutdown_pool
+
+    model = build_layer("gcn", IN_SIZE, OUT_SIZE, rng=np.random.default_rng(0))
+    baseline = build_layer("gcn", IN_SIZE, OUT_SIZE, rng=np.random.default_rng(0))
+    reference = np.asarray(baseline(graph, feats).data)
+    record: Dict[str, object] = {
+        "model": "gcn", "schedule": "worker-kill", "seed": seed,
+    }
+    t0 = time.perf_counter()
+    try:
+        engine = GraniiEngine(
+            device="cpu",
+            system="dgl",
+            cost_models=cost_models,
+            spmm_strategy="spmm_sharded",
+            num_workers=2,
+            verify_plans=True,
+            guarded=True,
+        )
+        report = engine.optimize(model, graph, feats)
+        selection = report.selections[0]
+        plan = FaultPlan.from_string("spmm:kill_worker:1.0", seed=seed)
+        with fault_injection(plan):
+            model(graph, feats)
+        out = model(graph, feats)
+        out_data = np.asarray(getattr(out, "data", out))
+        demoted_to_blocked = any(
+            "spmm_sharded" in d.from_label and "@blocked" in d.to_label
+            for d in selection.demotions
+        )
+        if not np.allclose(out_data, reference, rtol=1e-4, atol=1e-6):
+            record["outcome"] = "mismatch"
+            record["max_abs_err"] = float(np.max(np.abs(out_data - reference)))
+        elif demoted_to_blocked:
+            record["outcome"] = "ok_fallback"
+        elif selection.demotions:
+            record["outcome"] = "mismatch"
+            record["error"] = (
+                "worker kill demoted, but not from spmm_sharded to blocked: "
+                + "; ".join(d.describe() for d in selection.demotions)
+            )
+        else:
+            record["outcome"] = "mismatch"
+            record["error"] = "worker kill produced no recorded demotion"
+        record["demotions"] = [d.describe() for d in selection.demotions]
+        record["faults_fired"] = int(sum(plan.fired.values()))
+    except GraniiError as exc:
+        record["outcome"] = "structured_error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001
+        record["outcome"] = "raw_escape"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    finally:
+        shutdown_pool()
+    record["seconds"] = round(time.perf_counter() - t0, 3)
+    return record
+
+
 BAD_OUTCOMES = ("raw_escape", "mismatch", "missed_admission")
 
 
@@ -236,6 +303,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{record['model']:>6} | {record['schedule']:<12} -> "
             f"{record['outcome']}"
         )
+    record = _sharded_kill_case(graph, feats, cost_models, args.seed)
+    results.append(record)
+    print(
+        f"{record['model']:>6} | {record['schedule']:<12} -> "
+        f"{record['outcome']:<16} "
+        f"(demotions={len(record.get('demotions', []))}, "
+        f"{record['seconds']}s)"
+    )
 
     counts: Dict[str, int] = {}
     for record in results:

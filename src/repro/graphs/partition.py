@@ -8,12 +8,16 @@ balance), a degree-based reordering, and an efficiency estimator that
 turns partition quality into the sparse-kernel time multiplier the
 ``wisegraph`` system personality applies (≈0.88 on the evaluation
 graphs).
+
+It also provides the row-shard planner used by the process-parallel
+``spmm_sharded`` strategy: contiguous, nnz-balanced row ranges plus
+per-shard halo (boundary-column) statistics that feed the engine's
+per-shard plan selection.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Tuple
+from typing import Dict
 
 import numpy as np
 
@@ -25,16 +29,39 @@ __all__ = [
     "partition_balance",
     "degree_reorder",
     "estimate_partition_efficiency",
+    "plan_row_shards",
+    "shard_boundary_stats",
 ]
+
+
+def _expand_frontier(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> np.ndarray:
+    """All neighbors of ``frontier``, vectorized multi-range gather."""
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # positions of each row's slice inside the flat gather
+    shifts = np.repeat(starts - np.concatenate(([0], np.cumsum(counts[:-1]))), counts)
+    return indices[shifts + np.arange(total, dtype=np.int64)]
 
 
 def bfs_partition(graph: Graph, num_parts: int, seed: int = 0) -> np.ndarray:
     """Balanced k-way partition by breadth-first region growing.
 
-    Parts are grown one at a time from unassigned seed nodes up to the
-    target size; BFS growth keeps each part locally connected, which is
-    what yields low edge cuts on graphs with locality (meshes,
-    communities) and high cuts on expanders.
+    Each part grows wave-by-wave from a single seed up to the target
+    size; BFS growth keeps each part locally connected, which is what
+    yields low edge cuts on graphs with locality (meshes, communities)
+    and high cuts on expanders.  Frontier expansion is fully vectorized
+    (one multi-range gather per wave instead of a Python loop per edge).
+
+    Components never reached by any part's growth — isolated nodes and
+    small components of disconnected graphs — are round-robined across
+    the least-loaded parts afterwards, one whole component at a time, so
+    disconnected inputs still come out balanced instead of piling into
+    the last part.
     """
     if num_parts < 1:
         raise ValueError("num_parts must be >= 1")
@@ -45,30 +72,72 @@ def bfs_partition(graph: Graph, num_parts: int, seed: int = 0) -> np.ndarray:
     membership = -np.ones(n, dtype=np.int64)
     target = int(np.ceil(n / num_parts))
     adj = graph.adj
+    indptr = adj.indptr
+    indices = adj.indices
     order = rng.permutation(n)
     cursor = 0
     for part in range(num_parts):
         size = 0
-        queue: deque = deque()
+        frontier = np.empty(0, dtype=np.int64)
         while size < target:
-            if not queue:
-                # find the next unassigned seed
+            frontier = frontier[membership[frontier] < 0]
+            if frontier.size == 0:
                 while cursor < n and membership[order[cursor]] >= 0:
                     cursor += 1
                 if cursor >= n:
                     break
-                queue.append(order[cursor])
-            node = queue.popleft()
-            if membership[node] >= 0:
-                continue
-            membership[node] = part
-            size += 1
-            start, stop = adj.indptr[node], adj.indptr[node + 1]
-            for neighbor in adj.indices[start:stop]:
-                if membership[neighbor] < 0:
-                    queue.append(int(neighbor))
-    membership[membership < 0] = num_parts - 1
+                frontier = np.asarray([order[cursor]], dtype=np.int64)
+            if frontier.size > target - size:
+                # deterministic truncation: keep the lowest node ids
+                frontier = frontier[: target - size]
+            membership[frontier] = part
+            size += int(frontier.size)
+            neighbors = _expand_frontier(indptr, indices, frontier)
+            if neighbors.size:
+                frontier = np.unique(neighbors[membership[neighbors] < 0])
+            else:
+                frontier = np.empty(0, dtype=np.int64)
+    _assign_unreached(membership, indptr, indices, num_parts)
     return membership
+
+
+def _assign_unreached(
+    membership: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    num_parts: int,
+) -> None:
+    """Round-robin unreached components across the least-loaded parts.
+
+    Whole components stay together (no extra cut edges); larger
+    components are placed first so the cyclic assignment stays balanced.
+    """
+    unreached = np.flatnonzero(membership < 0)
+    if unreached.size == 0:
+        return
+    claimed = membership >= 0
+    components = []
+    for seed in unreached:
+        if claimed[seed]:
+            continue
+        claimed[seed] = True
+        component = [np.asarray([seed], dtype=np.int64)]
+        frontier = component[0]
+        while frontier.size:
+            neighbors = _expand_frontier(indptr, indices, frontier)
+            frontier = np.unique(neighbors[~claimed[neighbors]]) if neighbors.size \
+                else np.empty(0, dtype=np.int64)
+            if frontier.size:
+                claimed[frontier] = True
+                component.append(frontier)
+        components.append(np.concatenate(component))
+    components.sort(key=lambda c: (-c.size, int(c.min())))
+    counts = np.bincount(membership[membership >= 0], minlength=num_parts).astype(
+        np.int64
+    )
+    ranked = np.argsort(counts, kind="stable")
+    for i, component in enumerate(components):
+        membership[component] = int(ranked[i % num_parts])
 
 
 def edge_cut_fraction(graph: Graph, membership: np.ndarray) -> float:
@@ -118,3 +187,72 @@ def estimate_partition_efficiency(
     balance = partition_balance(membership, num_parts)
     balance_penalty = 1.0 / balance  # imbalance erodes the benefit
     return float(1.0 - max_gain * (1.0 - cut) * balance_penalty)
+
+
+# ----------------------------------------------------------------------
+# Row-shard planning for the process-parallel SpMM backend
+# ----------------------------------------------------------------------
+def plan_row_shards(indptr: np.ndarray, num_shards: int) -> np.ndarray:
+    """Contiguous, nnz-balanced row-shard bounds for sharded SpMM.
+
+    Returns an int64 array of ``num_shards + 1`` non-decreasing row
+    bounds with ``bounds[0] == 0`` and ``bounds[-1] == num_rows``; shard
+    ``i`` owns rows ``[bounds[i], bounds[i+1])``.  Bounds are placed so
+    each shard holds roughly ``nnz / num_shards`` edges (row splits only
+    — rows are never broken across shards, which is what preserves the
+    bitwise row-reduction contract of the inner kernels).  Shards with
+    zero rows are legal output on pathological degree distributions; the
+    executor must tolerate them, not renumber them away.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    if indptr.ndim != 1 or indptr.shape[0] < 1:
+        raise ValueError("indptr must be a 1-D array with at least one entry")
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    n = int(indptr.shape[0]) - 1
+    nnz = int(indptr[-1])
+    if nnz == 0:
+        # edgeless graph: fall back to row-balanced bounds
+        return np.round(np.linspace(0, n, num_shards + 1)).astype(np.int64)
+    targets = np.arange(1, num_shards, dtype=np.float64) * (nnz / num_shards)
+    interior = np.searchsorted(indptr, targets, side="left").astype(np.int64)
+    bounds = np.concatenate(
+        (np.zeros(1, dtype=np.int64), interior, np.asarray([n], dtype=np.int64))
+    )
+    np.maximum.accumulate(bounds, out=bounds)
+    np.clip(bounds, 0, n, out=bounds)
+    return bounds
+
+
+def shard_boundary_stats(
+    indptr: np.ndarray, indices: np.ndarray, bounds: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Per-shard size and halo statistics for a row-shard plan.
+
+    For square adjacencies, an edge is *halo* when its column falls
+    outside its row's shard — the worker must read that feature row from
+    another shard's range (served zero-copy from the shared feature
+    segment, but a locality miss all the same).  Returns per-shard
+    arrays: ``rows``, ``nnz``, ``halo_nnz``, and ``halo_fraction``
+    (0.0 for empty shards).  All vectorized; O(nnz).
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    bounds = np.asarray(bounds, dtype=np.int64)
+    num_shards = bounds.shape[0] - 1
+    shard_nnz = np.diff(indptr[bounds])
+    if indices.size:
+        row_shard = np.repeat(np.arange(num_shards, dtype=np.int64), shard_nnz)
+        col_shard = np.searchsorted(bounds, indices, side="right") - 1
+        halo = col_shard != row_shard
+        halo_nnz = np.bincount(row_shard[halo], minlength=num_shards)
+    else:
+        halo_nnz = np.zeros(num_shards, dtype=np.int64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        fraction = np.where(shard_nnz > 0, halo_nnz / np.maximum(shard_nnz, 1), 0.0)
+    return {
+        "rows": np.diff(bounds),
+        "nnz": shard_nnz,
+        "halo_nnz": halo_nnz,
+        "halo_fraction": fraction,
+    }

@@ -70,6 +70,11 @@ def bytes_moved(call: KernelCall) -> float:
         # streaming traffic (values + indices + gathered rows + output)
         # hits memory — no O(E·K) intermediate round-trip
         return _F64 * (2 * s["nnz"] + s["nnz"] * s["k"] + s["m"] * s["k"])
+    if name == "spmm_sharded":
+        # the same streaming form as the tiled kernels, plus one upload
+        # of the dense operand into the shared segment and one copy-out
+        # of the result (the CSR upload amortises across iterations)
+        return _F64 * (2 * s["nnz"] + s["nnz"] * s["k"] + 3 * s["m"] * s["k"])
     if name == "sddmm":
         return _F64 * (2 * s["nnz"] * s["k"] + 2 * s["nnz"])
     if name == "sddmm_diag":
@@ -149,6 +154,16 @@ class DeviceProfile:
     # (the kernel is already device-wide parallel, threads only add
     # dispatch overhead) but real on CPU targets
     thread_speedup: float = 1.0
+    # effective speedup of the process-sharded SpMM path: worker
+    # processes sidestep the GIL entirely and per-shard tile selection
+    # keeps working sets cache-resident, so on CPU hosts it exceeds the
+    # thread pool's; ~1 on GPUs (host processes cannot split a device)
+    process_speedup: float = 1.0
+    # fixed cost of one sharded dispatch: segment upload + per-shard IPC
+    # round trips.  Large on GPUs (host<->device staging would dominate),
+    # small but non-zero on CPU — this is what makes sharding lose on
+    # small graphs
+    shard_latency: float = 5.0e-3
 
 
 class Device:
@@ -176,7 +191,9 @@ class Device:
             + (stats.avg_degree / scale) ** self.profile.atomic_exp
         )
 
-    _TILED_PRIMITIVES = frozenset({"spmm_blocked", "spmm_parallel"})
+    _TILED_PRIMITIVES = frozenset(
+        {"spmm_blocked", "spmm_parallel", "spmm_sharded"}
+    )
 
     def _skew(self, call: KernelCall, stats: GraphStats) -> float:
         if call.kind != "sparse":
@@ -225,6 +242,9 @@ class Device:
             overhead *= 6.0
         elif call.primitive == "spmm_blocked":
             overhead *= 2.0
+        elif call.primitive == "spmm_sharded":
+            base /= max(self.profile.process_speedup, 1.0)
+            overhead = overhead * 8.0 + self.profile.shard_latency
         result = (
             overhead
             + base

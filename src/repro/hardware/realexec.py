@@ -44,6 +44,7 @@ REAL_PROFILED_PRIMITIVES = (
     "spmm_unweighted",
     "spmm_blocked",
     "spmm_parallel",
+    "spmm_sharded",
     "sddmm",
     "sddmm_diag",
     "gsddmm_attn",
@@ -127,6 +128,12 @@ class RealExecutionBackend:
             x = self._dense(adj.shape[1], int(s["k"]))
             semiring = get_semiring("sum", "mul")
             return lambda: gspmm(wadj, x, semiring, strategy="blocked_parallel")
+        if p == "spmm_sharded":
+            x = self._dense(adj.shape[1], int(s["k"]))
+            semiring = get_semiring("sum", "mul")
+            return lambda: gspmm(
+                wadj, x, semiring, strategy="spmm_sharded", num_workers=2
+            )
         if p == "sddmm":
             a = self._dense(adj.shape[0], int(s["k"]))
             b = self._dense(int(s["k"]), adj.shape[1])

@@ -84,6 +84,12 @@ PRIMITIVES: Dict[str, Primitive] = {
         _f(lambda s: 2.0 * s["nnz"] * s["k"]),
         "thread-parallel row-block tiled sparse·dense multiplication",
     ),
+    "spmm_sharded": Primitive(
+        "spmm_sharded", "sparse",
+        _f(lambda s: 2.0 * s["nnz"] * s["k"]),
+        "process-parallel row-sharded sparse·dense multiplication over "
+        "shared-memory buffers, per-shard inner plans",
+    ),
     "sddmm": Primitive(
         "sddmm", "sparse",
         _f(lambda s: 2.0 * s["nnz"] * s["k"]),
@@ -168,6 +174,12 @@ def get_primitive(name: str) -> Primitive:
 _TRANSIENT_BYTES: Dict[str, Callable[[Mapping[str, float]], float]] = {
     "spmm": lambda s: 8.0 * s["nnz"] * s.get("k", 1),
     "spmm_unweighted": lambda s: 8.0 * s["nnz"] * s.get("k", 1),
+    # sharded: shared segments for CSR (indptr+indices+values) plus the
+    # dense operand and output copies — resident in /dev/shm, not heap,
+    # but budgeted all the same.
+    "spmm_sharded": lambda s: (
+        24.0 * s["nnz"] + 16.0 * s["m"] * s.get("k", 1) + 8.0 * s["m"]
+    ),
     "sddmm": lambda s: 8.0 * s["nnz"] * s.get("k", 1),
     "gsddmm_attn": lambda s: 16.0 * s["nnz"],
     "edge_softmax": lambda s: 16.0 * s["nnz"],

@@ -1,0 +1,613 @@
+"""Process-parallel sharded g-SpMM over shared-memory buffers.
+
+The ``blocked_parallel`` strategy fans row blocks over a thread pool,
+but NumPy reduction loops hold the GIL often enough that it ties
+single-threaded ``blocked`` on large graphs.  This module sidesteps the
+GIL entirely: the graph is split into contiguous, nnz-balanced *row
+shards* (:func:`repro.graphs.partition.plan_row_shards`), the CSR
+arrays, the dense operand and the result matrix are placed in
+``multiprocessing.shared_memory`` segments, and a persistent pool of
+worker processes each runs an ordinary in-process g-SpMM over its
+shard's sub-CSR view, writing results into a disjoint row range of the
+shared output — zero-copy reads, no result pickling.
+
+Per-shard plan selection
+------------------------
+Shards differ in density and skew, so each shard gets its *own* inner
+plan from its own stats (:func:`select_shard_plan`): tiny shards run the
+one-shot ``row_segment`` kernel, everything else runs ``blocked`` with a
+tile sized to the worker's cache budget (``REPRO_SHARD_CACHE_KB``) —
+input inspection applied at shard granularity.
+
+Determinism contract
+--------------------
+Shard bounds never split a row, and the inner kernels reduce each row's
+edges in CSR order, so the sharded result is **bitwise identical** to
+every other strategy for all supported semirings (mean included: row
+degrees are row-local).
+
+Failure model
+-------------
+A worker death, remote exception, or IPC timeout raises
+:class:`ShardedWorkerError` (a ``RuntimeError``), marks the pool broken
+(it is rebuilt lazily), and lets the guarded runtime's fallback ladder
+demote to an in-process strategy.  Segments are tracked parent-side and
+unlinked on release/atexit so ``/dev/shm`` is left clean; workers
+unregister attachments from their own ``resource_tracker`` to avoid
+double-unlink races.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import queue
+import signal
+import time
+import traceback
+import uuid
+import multiprocessing as mp
+from collections import OrderedDict
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import config
+from ..graphs.partition import plan_row_shards
+from ..sparse import CSRMatrix
+from .blocked import DEFAULT_BLOCK_NNZ
+from .semiring import Semiring, get_semiring
+
+__all__ = [
+    "ShardedWorkerError",
+    "default_num_workers",
+    "default_num_shards",
+    "estimate_segment_bytes",
+    "gspmm_sharded",
+    "kill_one_worker",
+    "live_segment_bytes",
+    "request_worker_kill",
+    "select_shard_plan",
+    "sharded_pool",
+    "shutdown_pool",
+]
+
+# Shards smaller than this run the one-shot row_segment kernel: the tile
+# bookkeeping of the blocked kernel costs more than it saves.
+SMALL_SHARD_NNZ = 4096
+
+# How many distinct graphs keep live shared segments at once (the verify
+# sweep alternates a graph and its transpose per training step).
+_GRAPH_CACHE_CAP = 4
+
+# Per-worker cap on cached segment attachments (attach/mmap is a syscall;
+# steady-state reuse should hit this cache).
+_WORKER_ATTACH_CAP = 32
+
+_POLL_SECONDS = 0.2  # result-queue poll granularity for liveness checks
+
+
+class ShardedWorkerError(RuntimeError):
+    """A sharded-SpMM worker died, raised remotely, or timed out.
+
+    Deliberately a ``RuntimeError``: the guarded runtime classifies it as
+    a kernel error and demotes down the fallback ladder.
+    """
+
+
+def default_num_workers() -> int:
+    """``REPRO_NUM_WORKERS``, or ``min(4, cpu_count)`` when unset/0."""
+    value = config.num_workers()
+    if value > 0:
+        return value
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def default_num_shards(nnz: int, num_workers: int) -> int:
+    """Shard count: ~``REPRO_SHARD_NNZ`` edges per shard, clamped so every
+    worker has work but no more than 4 shards queue behind each."""
+    per_shard = config.shard_nnz()
+    wanted = -(-max(int(nnz), 1) // per_shard)  # ceil
+    return int(min(max(wanted, num_workers), 4 * num_workers))
+
+
+def select_shard_plan(
+    shard_nnz: int, shard_rows: int, k: int
+) -> Tuple[str, Optional[int]]:
+    """Pick the inner (strategy, block_nnz) for one shard from its stats.
+
+    This is the engine's input inspection applied per shard: tiny shards
+    take the one-shot path; dense shards get a tile sized so one
+    ``(block_nnz, k)`` float64 workspace tile fits the configured cache
+    budget — on the large R-MAT benchmark this is worth ~2x over the
+    global default tile.
+    """
+    if shard_nnz <= SMALL_SHARD_NNZ:
+        return "row_segment", None
+    budget_bytes = config.shard_cache_kb() * 1024
+    block = budget_bytes // (8 * max(int(k), 1))
+    return "blocked", int(min(max(block, 512), DEFAULT_BLOCK_NNZ))
+
+
+def estimate_segment_bytes(
+    num_rows: int, num_cols: int, nnz: int, k: int, weighted: bool = True
+) -> float:
+    """Parent-side shared-memory footprint of one sharded g-SpMM call.
+
+    indptr + indices (+ values) for the graph, the dense operand, and
+    the output — all float64/int64.  Used by :class:`ExecutionBudget` to
+    account segments against the per-plan memory budget.
+    """
+    graph = 8.0 * (num_rows + 1) + 8.0 * nnz * (2 if weighted else 1)
+    dense = 8.0 * num_cols * max(int(k), 0)
+    out = 8.0 * num_rows * max(int(k), 1)
+    return graph + dense + out
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Keep the child's resource_tracker from unlinking parent segments."""
+    try:  # pragma: no cover - exercised only in worker processes
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _attach(cache: "OrderedDict[str, shared_memory.SharedMemory]", name: str):
+    shm = cache.get(name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        cache[name] = shm
+        while len(cache) > _WORKER_ATTACH_CAP:
+            _, old = cache.popitem(last=False)
+            old.close()
+    else:
+        cache.move_to_end(name)
+    return shm
+
+
+def _run_shard(task, attached, arena) -> None:
+    """Execute one shard: sub-CSR view -> inner gspmm -> disjoint write."""
+    from .spmm import gspmm
+
+    (_, names, meta, r0, r1, reduce_name, binary_name, inner, block) = task
+    n, ncols, nnz, k_in, k_out, has_values = meta
+    if r1 <= r0:
+        return  # zero-row shard: nothing to compute, nothing to write
+    indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=_attach(attached, names["indptr"]).buf)
+    e0, e1 = int(indptr[r0]), int(indptr[r1])
+    indices = np.ndarray((nnz,), dtype=np.int64, buffer=_attach(attached, names["indices"]).buf)
+    values = None
+    if has_values:
+        values = np.ndarray(
+            (nnz,), dtype=np.float64, buffer=_attach(attached, names["values"]).buf
+        )[e0:e1]
+    x = np.ndarray((ncols, k_in), dtype=np.float64, buffer=_attach(attached, names["x"]).buf)
+    out = np.ndarray((n, k_out), dtype=np.float64, buffer=_attach(attached, names["out"]).buf)
+    sub = CSRMatrix(
+        indptr[r0 : r1 + 1] - e0,  # copies; the shard's local row pointers
+        indices[e0:e1],
+        values,
+        (r1 - r0, ncols),
+    )
+    semiring = get_semiring(reduce_name, binary_name)
+    out[r0:r1] = gspmm(
+        sub, x, semiring, strategy=inner, block_nnz=block, workspace=arena
+    )
+
+
+def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover
+    """Worker loop; runs in a child process (coverage can't see it)."""
+    # The parent validated the CSR once; shard views are trusted.  Set in
+    # the child's own environment, before any config read in this process.
+    os.environ["REPRO_SKIP_VALIDATION"] = "1"  # lint: allow(env-outside-config)
+    from .workspace import WorkspaceArena
+
+    arena = WorkspaceArena()
+    attached: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        try:
+            _run_shard(task, attached, arena)
+        except BaseException as exc:
+            result_queue.put(
+                ("err", task[0], f"{type(exc).__name__}: {exc}", traceback.format_exc())
+            )
+        else:
+            result_queue.put(("ok", task[0]))
+    for shm in attached.values():
+        shm.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side: segments
+# ----------------------------------------------------------------------
+def _create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    # SharedMemory refuses size=0; zero-size arrays ride a 1-byte segment
+    return shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+
+
+def _fill_segment(shm: shared_memory.SharedMemory, arr: np.ndarray) -> None:
+    if arr.size:
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+
+
+_GRAPH_SEGMENTS: "OrderedDict[str, Dict[str, shared_memory.SharedMemory]]" = OrderedDict()
+
+
+def _release_entry(entry: Dict[str, shared_memory.SharedMemory]) -> None:
+    for shm in entry.values():
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _graph_segments(adj: CSRMatrix) -> Dict[str, shared_memory.SharedMemory]:
+    """Shared segments holding ``adj``'s CSR arrays, cached on the matrix.
+
+    The cache token lives in ``adj._aux`` (the matrix's memo dict), so a
+    plan that aggregates over the same adjacency every iteration uploads
+    the graph exactly once; the LRU cap bounds resident segments when
+    many distinct graphs stream through (the verify battery).
+    """
+    token = adj._aux.get("sharded_segments")
+    if token is not None and token in _GRAPH_SEGMENTS:
+        _GRAPH_SEGMENTS.move_to_end(token)
+        return _GRAPH_SEGMENTS[token]
+    token = uuid.uuid4().hex
+    entry: Dict[str, shared_memory.SharedMemory] = {}
+    for role, arr in (
+        ("indptr", adj.indptr),
+        ("indices", adj.indices),
+        ("values", adj.values),
+    ):
+        if arr is None:
+            continue
+        arr = np.ascontiguousarray(arr)
+        shm = _create_segment(arr.nbytes)
+        _fill_segment(shm, arr)
+        entry[role] = shm
+    adj._aux["sharded_segments"] = token
+    _GRAPH_SEGMENTS[token] = entry
+    while len(_GRAPH_SEGMENTS) > _GRAPH_CACHE_CAP:
+        _, old = _GRAPH_SEGMENTS.popitem(last=False)
+        _release_entry(old)
+    return entry
+
+
+# Free dense buffers pooled by (rounded) size, reused across calls.
+_BUFFER_POOL: Dict[int, List[shared_memory.SharedMemory]] = {}
+_BUFFER_POOL_CAP_BYTES = 1 << 30
+
+
+def _rounded_size(nbytes: int) -> int:
+    return 1 << max(int(nbytes - 1).bit_length() if nbytes > 1 else 0, 12)
+
+
+def _acquire_buffer(nbytes: int) -> shared_memory.SharedMemory:
+    size = _rounded_size(nbytes)
+    free = _BUFFER_POOL.get(size)
+    if free:
+        return free.pop()
+    return shared_memory.SharedMemory(create=True, size=size)
+
+
+def _release_buffer(shm: shared_memory.SharedMemory) -> None:
+    pooled = sum(size * len(free) for size, free in _BUFFER_POOL.items())
+    if pooled + shm.size > _BUFFER_POOL_CAP_BYTES:
+        _discard_buffer(shm)
+        return
+    _BUFFER_POOL.setdefault(shm.size, []).append(shm)
+
+
+def _discard_buffer(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def live_segment_bytes() -> int:
+    """Bytes of shared memory currently held by this process (cache+pool)."""
+    total = 0
+    for entry in _GRAPH_SEGMENTS.values():
+        total += sum(shm.size for shm in entry.values())
+    for size, free in _BUFFER_POOL.items():
+        total += size * len(free)
+    return total
+
+
+def release_segments() -> None:
+    """Unlink every cached graph segment and pooled buffer."""
+    while _GRAPH_SEGMENTS:
+        _, entry = _GRAPH_SEGMENTS.popitem(last=False)
+        _release_entry(entry)
+    for free in _BUFFER_POOL.values():
+        for shm in free:
+            _discard_buffer(shm)
+    _BUFFER_POOL.clear()
+
+
+# ----------------------------------------------------------------------
+# Parent side: the worker pool
+# ----------------------------------------------------------------------
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class _WorkerPool:
+    """Persistent workers, one task queue each plus a shared result queue.
+
+    Per-worker queues make submission a deterministic round-robin (shard
+    ``i`` -> worker ``i % W``) and keep a poisoned worker from stealing
+    its siblings' tasks; the shared result queue gives the parent one
+    place to wait with a timeout and a liveness check.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        ctx = _mp_context()
+        self.num_workers = num_workers
+        self.broken = False
+        self.task_queues = [ctx.SimpleQueue() for _ in range(num_workers)]
+        self.result_queue = ctx.Queue()
+        self.processes = []
+        for i, task_queue in enumerate(self.task_queues):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(task_queue, self.result_queue),
+                name=f"repro-shard-{i}",
+                daemon=True,
+            )
+            proc.start()
+            self.processes.append(proc)
+
+    def submit(self, shard_index: int, task) -> None:
+        self.task_queues[shard_index % self.num_workers].put(task)
+
+    def dead_workers(self) -> List[str]:
+        return [
+            f"{p.name} (exitcode {p.exitcode})"
+            for p in self.processes
+            if not p.is_alive()
+        ]
+
+    def collect(self, expected: int, timeout: float) -> None:
+        """Wait for ``expected`` shard acks; raise on death/timeout/error."""
+        deadline = time.monotonic() + timeout
+        done = 0
+        while done < expected:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.broken = True
+                raise ShardedWorkerError(
+                    f"sharded SpMM timed out after {timeout:.1f}s with "
+                    f"{expected - done} shard(s) outstanding "
+                    f"(raise REPRO_SHARDED_TIMEOUT for slow hosts)"
+                )
+            try:
+                msg = self.result_queue.get(timeout=min(_POLL_SECONDS, remaining))
+            except queue.Empty:
+                dead = self.dead_workers()
+                if dead:
+                    self.broken = True
+                    raise ShardedWorkerError(
+                        f"sharded SpMM worker(s) died mid-shard: {', '.join(dead)}"
+                    ) from None
+                continue
+            if msg[0] == "ok":
+                done += 1
+            else:
+                self.broken = True
+                raise ShardedWorkerError(
+                    f"shard {msg[1]} failed remotely: {msg[2]}\n{msg[3]}"
+                )
+
+    def kill_one(self) -> bool:
+        """SIGKILL one live worker (the chaos harness's fault hook)."""
+        for proc in self.processes:
+            if proc.is_alive() and proc.pid is not None:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=5.0)
+                return True
+        return False
+
+    def shutdown(self) -> None:
+        for task_queue, proc in zip(self.task_queues, self.processes):
+            try:
+                if proc.is_alive():
+                    task_queue.put(None)
+            except Exception:
+                pass
+        for proc in self.processes:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for task_queue in self.task_queues:
+            task_queue.close()
+        self.result_queue.close()
+        self.result_queue.join_thread()
+
+
+_POOL: Optional[_WorkerPool] = None
+_KILL_REQUESTED = False
+
+
+def _get_pool(num_workers: int) -> _WorkerPool:
+    global _POOL
+    if _POOL is not None and (
+        _POOL.broken or _POOL.num_workers != num_workers or _POOL.dead_workers()
+    ):
+        _POOL.shutdown()
+        _POOL = None
+    if _POOL is None:
+        _POOL = _WorkerPool(num_workers)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Stop the warm worker pool (restarted lazily on the next call)."""
+    global _POOL, _KILL_REQUESTED
+    _KILL_REQUESTED = False
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+def request_worker_kill() -> None:
+    """Arm a one-shot SIGKILL of a worker during the *next* sharded call.
+
+    Used by the ``kill_worker`` fault action to simulate a worker crash
+    mid-shard; the next :func:`gspmm_sharded` kills one worker right
+    after dispatching its shards.
+    """
+    global _KILL_REQUESTED
+    _KILL_REQUESTED = True
+
+
+def kill_one_worker() -> bool:
+    """SIGKILL a live pool worker right now; returns False if no pool."""
+    if _POOL is None:
+        return False
+    return _POOL.kill_one()
+
+
+@contextmanager
+def sharded_pool(num_workers: Optional[int] = None):
+    """Scoped pool: warm within the block, shut down (and segments
+    released) on exit.  Tests and short-lived drivers use this to
+    guarantee a clean ``/dev/shm``; long-lived engines rely on the warm
+    module pool plus the atexit hook instead."""
+    pool = _get_pool(num_workers or default_num_workers())
+    try:
+        yield pool
+    finally:
+        shutdown_pool()
+        release_segments()
+
+
+def _atexit_cleanup() -> None:  # pragma: no cover - interpreter shutdown
+    try:
+        shutdown_pool()
+    finally:
+        release_segments()
+
+
+atexit.register(_atexit_cleanup)
+
+
+# ----------------------------------------------------------------------
+# The strategy entry point
+# ----------------------------------------------------------------------
+def _check_shard_bounds(bounds: np.ndarray, num_rows: int) -> None:
+    """Disjoint-coverage check: the runtime discharge of the planlint
+    obligation that sharded writes partition the output rows."""
+    if (
+        bounds.shape[0] < 2
+        or int(bounds[0]) != 0
+        or int(bounds[-1]) != num_rows
+        or bool(np.any(np.diff(bounds) < 0))
+    ):
+        raise ShardedWorkerError(
+            f"shard bounds {np.asarray(bounds).tolist()} do not disjointly "
+            f"cover rows [0, {num_rows})"
+        )
+
+
+def gspmm_sharded(
+    adj: CSRMatrix,
+    x: np.ndarray,
+    semiring: Optional[Semiring] = None,
+    num_workers: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    block_nnz: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> np.ndarray:
+    """Process-parallel sharded g-SpMM; see the module docstring.
+
+    ``block_nnz`` forces one tile size on every non-tiny shard; ``None``
+    lets :func:`select_shard_plan` pick per shard.  ``timeout`` defaults
+    to ``REPRO_SHARDED_TIMEOUT`` seconds.
+    """
+    global _KILL_REQUESTED
+    if semiring is None:
+        semiring = get_semiring()
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 1:
+        x = x[:, None]
+    if semiring.binary.uses_rhs and x.shape[0] != adj.shape[1]:
+        raise ValueError(f"gspmm shape mismatch: adj {adj.shape} vs dense {x.shape}")
+    n, ncols = int(adj.shape[0]), int(adj.shape[1])
+    k_in = int(x.shape[1])
+    k_out = 1 if semiring.binary.name == "copy_lhs" else k_in
+    if n == 0:
+        # empty result, returned to the caller  # lint: allow(raw-alloc-in-kernels)
+        return np.empty((0, k_out), dtype=np.float64)
+    if num_workers is None:
+        num_workers = default_num_workers()
+    num_workers = max(1, int(num_workers))
+    if num_shards is None:
+        num_shards = default_num_shards(adj.nnz, num_workers)
+    bounds = plan_row_shards(adj.indptr, num_shards)
+    _check_shard_bounds(bounds, n)
+
+    pool = _get_pool(num_workers)
+    if _KILL_REQUESTED:
+        # Fault hook (repro.faults kill_worker): SIGKILL one worker *before*
+        # its shards are submitted, so the tasks round-robined onto the dead
+        # process can never complete and collect() must detect the corpse —
+        # a deterministic stand-in for a worker dying mid-shard.
+        _KILL_REQUESTED = False
+        pool.kill_one()
+    graph_entry = _graph_segments(adj)
+    x_shm = _acquire_buffer(max(x.nbytes, 1))
+    out_shm = _acquire_buffer(max(n * k_out * 8, 1))
+    try:
+        _fill_segment(x_shm, x)
+        names = {
+            "indptr": graph_entry["indptr"].name,
+            "indices": graph_entry["indices"].name,
+            "x": x_shm.name,
+            "out": out_shm.name,
+        }
+        has_values = adj.values is not None
+        if has_values:
+            names["values"] = graph_entry["values"].name
+        meta = (n, ncols, int(adj.nnz), k_in, k_out, has_values)
+        submitted = 0
+        for i in range(num_shards):
+            r0, r1 = int(bounds[i]), int(bounds[i + 1])
+            shard_edges = int(adj.indptr[r1] - adj.indptr[r0])
+            if block_nnz is not None:
+                inner, block = "blocked", int(block_nnz)
+            else:
+                inner, block = select_shard_plan(shard_edges, r1 - r0, k_in)
+            pool.submit(i, (i, names, meta, r0, r1,
+                            semiring.reduce.name, semiring.binary.name,
+                            inner, block))
+            submitted += 1
+        pool.collect(submitted, timeout or config.sharded_timeout_seconds())
+        out = np.ndarray((n, k_out), dtype=np.float64, buffer=out_shm.buf).copy()
+    except Exception:
+        # A late worker write into a recycled buffer would corrupt an
+        # unrelated call: on any failure the buffers die with the pool.
+        _discard_buffer(x_shm)
+        _discard_buffer(out_shm)
+        shutdown_pool()
+        raise
+    _release_buffer(x_shm)
+    _release_buffer(out_shm)
+    return out

@@ -9,7 +9,7 @@ With the standard ``(sum, mul)`` semiring this is the ordinary ``A @ X``.
 GNN aggregation places destinations on rows and sources on columns, so a
 g-SpMM over the adjacency aggregates neighbor embeddings (paper §II-C).
 
-Four execution strategies are provided:
+Five execution strategies are provided:
 
 ``row_segment``
     Gathers messages in edge order and reduces them per-row with
@@ -24,6 +24,10 @@ Four execution strategies are provided:
 ``blocked_parallel``
     The tiled kernel fanned out over a thread pool (one worker per row
     block); controlled by ``REPRO_NUM_THREADS``.
+``spmm_sharded``
+    Row shards executed by a persistent pool of worker *processes* over
+    shared-memory buffers (:mod:`repro.kernels.sharded`), each shard
+    with its own inner plan; controlled by ``REPRO_NUM_WORKERS``.
 
 All produce identical results; the hardware model prices them differently,
 which is what lets the engine pick a strategy per input.
@@ -51,7 +55,13 @@ __all__ = [
     "gspmm_flops",
 ]
 
-SPMM_STRATEGIES = ("row_segment", "gather_scatter", "blocked", "blocked_parallel")
+SPMM_STRATEGIES = (
+    "row_segment",
+    "gather_scatter",
+    "blocked",
+    "blocked_parallel",
+    "spmm_sharded",
+)
 
 # Innermost spmm_strategy_override() wins over REPRO_SPMM_STRATEGY.
 _STRATEGY_OVERRIDES: List[str] = []
@@ -139,6 +149,7 @@ def gspmm(
     strategy: Optional[str] = None,
     block_nnz: Optional[int] = None,
     num_threads: Optional[int] = None,
+    num_workers: Optional[int] = None,
     workspace=None,
 ) -> np.ndarray:
     """Generalized SpMM; see module docstring.
@@ -154,9 +165,9 @@ def gspmm(
     strategy:
         One of :data:`SPMM_STRATEGIES`; ``None`` means
         :func:`default_spmm_strategy`.
-    block_nnz / num_threads / workspace:
-        Tuning knobs for the blocked strategies (edge budget per tile,
-        thread-pool width, and the
+    block_nnz / num_threads / num_workers / workspace:
+        Tuning knobs for the blocked and sharded strategies (edge budget
+        per tile, thread-pool width, process-pool width, and the
         :class:`~repro.kernels.workspace.WorkspaceArena` scratch buffers
         come from); ignored by the one-shot strategies.
     """
@@ -178,6 +189,12 @@ def gspmm(
 
         return gspmm_parallel(
             adj, x, semiring, block_nnz=block_nnz, num_threads=num_threads
+        )
+    if strategy == "spmm_sharded":
+        from .sharded import gspmm_sharded
+
+        return gspmm_sharded(
+            adj, x, semiring, num_workers=num_workers, block_nnz=block_nnz
         )
     if semiring.binary.uses_rhs and x.shape[0] != adj.shape[1]:
         raise ValueError(

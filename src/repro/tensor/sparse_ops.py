@@ -32,10 +32,21 @@ __all__ = [
 ]
 
 
-def spmm(adj: CSRMatrix, x: Tensor) -> Tensor:
+def spmm(
+    adj: CSRMatrix,
+    x: Tensor,
+    *,
+    strategy: Optional[str] = None,
+    block_nnz: Optional[int] = None,
+    num_threads: Optional[int] = None,
+    num_workers: Optional[int] = None,
+) -> Tensor:
     """``A @ X`` with a constant (possibly weighted) adjacency.
 
-    Backward: ``dX = A^T @ dY``.
+    Backward: ``dX = A^T @ dY``.  The strategy knobs tune the *forward*
+    aggregation only (every :data:`~repro.kernels.spmm.SPMM_STRATEGIES`
+    member is bitwise-identical, so the executor's pinned strategy is safe
+    under autograd); the backward SpMM keeps the reference kernel.
     """
     adj_t = adj.transpose()
     semiring = get_semiring("sum", "mul" if adj.is_weighted else "copy_rhs")
@@ -43,15 +54,33 @@ def spmm(adj: CSRMatrix, x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x.accumulate_grad(gspmm(adj_t, grad, semiring))
 
-    out_data = gspmm(adj, x.data, semiring)
+    out_data = gspmm(
+        adj,
+        x.data,
+        semiring,
+        strategy=strategy,
+        block_nnz=block_nnz,
+        num_threads=num_threads,
+        num_workers=num_workers,
+    )
     return Tensor.make(out_data, (x,), backward, "spmm")
 
 
-def spmm_edge(pattern: CSRMatrix, edge_vals: Tensor, x: Tensor) -> Tensor:
+def spmm_edge(
+    pattern: CSRMatrix,
+    edge_vals: Tensor,
+    x: Tensor,
+    *,
+    strategy: Optional[str] = None,
+    block_nnz: Optional[int] = None,
+    num_threads: Optional[int] = None,
+    num_workers: Optional[int] = None,
+) -> Tensor:
     """``A(e) @ X`` where the adjacency values are themselves a tensor.
 
     This is GAT's aggregation with learned attention values.  Backward:
-    ``dE_ij = dY[i] · X[j]`` (an SDDMM) and ``dX = A(e)^T @ dY``.
+    ``dE_ij = dY[i] · X[j]`` (an SDDMM) and ``dX = A(e)^T @ dY``.  As in
+    :func:`spmm`, the strategy knobs apply to the forward pass only.
     """
     if edge_vals.data.shape != (pattern.nnz,):
         raise ValueError("edge values must align with the pattern's nnz")
@@ -63,7 +92,14 @@ def spmm_edge(pattern: CSRMatrix, edge_vals: Tensor, x: Tensor) -> Tensor:
         edge_vals.accumulate_grad(np.einsum("ek,ek->e", grad[rows], x.data[cols]))
         x.accumulate_grad(gspmm(weighted_t, grad))
 
-    out_data = gspmm(weighted, x.data)
+    out_data = gspmm(
+        weighted,
+        x.data,
+        strategy=strategy,
+        block_nnz=block_nnz,
+        num_threads=num_threads,
+        num_workers=num_workers,
+    )
     return Tensor.make(out_data, (edge_vals, x), backward, "spmm_edge")
 
 

@@ -327,7 +327,7 @@ class TestEngineStrategySelection:
         report = engine.select(engine.compile_for(layer), graph, layer)
         assert report.spmm_strategy in SPMM_STRATEGIES
         assert set(report.strategy_costs) == {
-            "row_segment", "blocked", "blocked_parallel",
+            "row_segment", "blocked", "blocked_parallel", "spmm_sharded",
         }
         assert all(c > 0 for c in report.strategy_costs.values())
         assert (
@@ -338,10 +338,12 @@ class TestEngineStrategySelection:
     def test_optimized_layer_runs_under_selected_strategy(self, graph, rng):
         feat = rng.standard_normal((graph.num_nodes, 16))
         out_ref = None
-        for strategy in ("row_segment", "blocked", "blocked_parallel"):
+        for strategy in (
+            "row_segment", "blocked", "blocked_parallel", "spmm_sharded",
+        ):
             engine = GraniiEngine(
                 device="h100", scale="small", spmm_strategy=strategy,
-                num_threads=2, block_nnz=1024,
+                num_threads=2, block_nnz=1024, num_workers=2,
             )
             layer = GCNLayer(16, 8, rng=np.random.default_rng(7))
             engine.optimize(layer, graph)

@@ -15,6 +15,7 @@ from repro.graphs import (
     road_mesh,
     star,
 )
+from repro.graphs.generators import disconnected_cliques, isolated_union
 
 
 class TestBFSPartition:
@@ -69,6 +70,37 @@ class TestMetrics:
         g = erdos_renyi(10, 3, seed=6)
         with pytest.raises(ValueError):
             edge_cut_fraction(g, np.zeros(5, dtype=int))
+
+    def test_disconnected_components_stay_balanced(self):
+        # round-robin assignment of unreached components: a graph of many
+        # equal cliques must not dump every clique into part 0
+        g = disconnected_cliques(8, 12)
+        membership = bfs_partition(g, 4)
+        assert set(np.unique(membership)) == {0, 1, 2, 3}
+        assert partition_balance(membership, 4) < 1.2
+
+    def test_isolated_vertices_spread_across_parts(self):
+        g = isolated_union(40, 24, seed=3)
+        membership = bfs_partition(g, 4)
+        assert membership.shape == (64,)
+        assert partition_balance(membership, 4) < 1.5
+        # the isolated tail (single-node components) must not pile up
+        isolated_parts = membership[40:]
+        assert len(np.unique(isolated_parts)) > 1
+
+    def test_edge_cut_regression_on_mesh(self):
+        # locality-preserving BFS growth on a mesh: the wavefront cut
+        # stays well below a random assignment's expected (p-1)/p
+        mesh = road_mesh(600, seed=2)
+        cut = edge_cut_fraction(mesh, bfs_partition(mesh, 4))
+        assert cut < 0.4
+
+    def test_balance_regression_on_connected_graphs(self):
+        for seed in (0, 1, 2):
+            g = erdos_renyi(500, 6, seed=seed)
+            for parts in (2, 4, 8):
+                membership = bfs_partition(g, parts, seed=seed)
+                assert partition_balance(membership, parts) < 1.2
 
     def test_degree_reorder(self):
         g = star(20)
