@@ -1,0 +1,222 @@
+"""Benchmark of the multi-tenant serving runtime (``repro.serving``).
+
+Drives a :class:`~repro.serving.GraniiService` with a repeat-heavy
+multi-tenant workload — the regime the plan cache exists for: a small
+set of distinct graph structures, each requested many times by several
+tenants — and measures the serving metrics that matter operationally:
+
+- **throughput** (requests/second over the whole run),
+- **latency percentiles** (p50/p95/p99 of per-request wall time,
+  measured submit-to-result so queueing is included),
+- **cache hit rate** (acceptance bar: > 0.9 on the repeat-graph
+  workload — amortization is the whole point of caching selections),
+- **shed rate** (what fraction of an overload burst is rejected with
+  backpressure instead of queueing unboundedly).
+
+Writes ``BENCH_serving.json`` at the repository root (plus a copy under
+``benchmarks/output/``).  Invoke directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+
+``--quick`` is the CI smoke configuration: fewer requests and smaller
+graphs, checking machinery (admission, caching, percentile plumbing)
+rather than the hit-rate bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.costmodel import get_cost_models  # noqa: E402
+from repro.errors import GraniiOverloadError  # noqa: E402
+from repro.graphs.generators import erdos_renyi, rmat  # noqa: E402
+from repro.serving import GraniiService, ServeRequest  # noqa: E402
+
+OUTPUT_PATH = Path(__file__).resolve().parent / "output" / "BENCH_serving.json"
+ROOT_OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+IN_SIZE, OUT_SIZE = 16, 8
+
+FULL = dict(graphs=4, nodes=2000, requests=400, tenants=4, threads=4)
+QUICK = dict(graphs=2, nodes=400, requests=60, tenants=2, threads=4)
+
+
+def build_workload(spec, seed: int):
+    """A repeat-heavy request stream over a few distinct structures."""
+    graphs = []
+    for i in range(spec["graphs"]):
+        builder = erdos_renyi if i % 2 == 0 else rmat
+        g = builder(spec["nodes"] + 137 * i, avg_degree=8, seed=seed + i)
+        feats = np.random.default_rng(seed + i).standard_normal(
+            (g.num_nodes, IN_SIZE)
+        )
+        graphs.append((g, feats))
+    rng = np.random.default_rng(seed)
+    stream = []
+    for i in range(spec["requests"]):
+        g, feats = graphs[int(rng.integers(len(graphs)))]
+        tenant = f"tenant-{i % spec['tenants']}"
+        stream.append((tenant, g, feats))
+    return stream
+
+
+def percentile(samples, q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q)) if samples else 0.0
+
+
+def run_throughput(svc: GraniiService, stream) -> dict:
+    """The steady-state pass: submit everything, wait for everything."""
+    t0 = time.perf_counter()
+    futures = []
+    for tenant, g, feats in stream:
+        while True:
+            try:
+                futures.append(svc.submit(ServeRequest(
+                    tenant=tenant, model="gcn", graph=g, feats=feats,
+                )))
+                break
+            except GraniiOverloadError as exc:
+                # a well-behaved client: honor the hint and resubmit
+                time.sleep(max(exc.retry_after_seconds, 0.005))
+    results = [f.result(timeout=120) for f in futures]
+    elapsed = time.perf_counter() - t0
+
+    latencies = [r.total_seconds for r in results]
+    ok = sum(1 for r in results if r.ok)
+    return {
+        "requests": len(results),
+        "ok": ok,
+        "errors": len(results) - ok,
+        "elapsed_seconds": elapsed,
+        "throughput_rps": len(results) / elapsed if elapsed else 0.0,
+        "latency_ms": {
+            "p50": 1e3 * percentile(latencies, 50),
+            "p95": 1e3 * percentile(latencies, 95),
+            "p99": 1e3 * percentile(latencies, 99),
+            "mean": 1e3 * float(np.mean(latencies)) if latencies else 0.0,
+        },
+    }
+
+
+def run_overload(svc: GraniiService, stream, burst: int) -> dict:
+    """Slam one tenant far past its queue bound; measure the shed rate."""
+    tenant, g, feats = stream[0]
+    futures, shed = [], 0
+    for _ in range(burst):
+        try:
+            futures.append(svc.submit(ServeRequest(
+                tenant="burst", model="gcn", graph=g, feats=feats,
+            )))
+        except GraniiOverloadError:
+            shed += 1
+    for f in futures:
+        f.result(timeout=120)
+    return {
+        "burst": burst,
+        "accepted": len(futures),
+        "shed": shed,
+        "shed_rate": shed / burst if burst else 0.0,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload (CI smoke; skips the hit-rate bar)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=None)
+    args = parser.parse_args()
+    spec = dict(QUICK if args.quick else FULL)
+    if args.requests is not None:
+        spec["requests"] = max(1, args.requests)
+
+    print(
+        f"[bench_serving] workload: {spec['requests']} requests over "
+        f"{spec['graphs']} graphs x {spec['tenants']} tenants",
+        flush=True,
+    )
+    stream = build_workload(spec, args.seed)
+    cost_models = get_cost_models("cpu")
+
+    with GraniiService(
+        device="cpu", cost_models=cost_models,
+        num_threads=spec["threads"], max_queue=16,
+    ) as svc:
+        svc.register_model("gcn", IN_SIZE, OUT_SIZE)
+        throughput = run_throughput(svc, stream)
+        cache = svc.cache.stats()
+        stats = svc.stats()
+    print(
+        f"[bench_serving] {throughput['throughput_rps']:.1f} req/s, "
+        f"p50={throughput['latency_ms']['p50']:.1f}ms "
+        f"p95={throughput['latency_ms']['p95']:.1f}ms "
+        f"p99={throughput['latency_ms']['p99']:.1f}ms, "
+        f"hit_rate={cache['hit_rate']:.3f}",
+        flush=True,
+    )
+
+    # a separate tightly-bounded service isolates the shed measurement
+    # from the throughput run's generous queue
+    with GraniiService(
+        device="cpu", cost_models=cost_models, num_threads=2, max_queue=2,
+    ) as overload_svc:
+        overload_svc.register_model("gcn", IN_SIZE, OUT_SIZE)
+        overload = run_overload(
+            overload_svc, stream, burst=40 if not args.quick else 16
+        )
+    print(
+        f"[bench_serving] overload: shed {overload['shed']}/"
+        f"{overload['burst']} ({overload['shed_rate']:.0%})",
+        flush=True,
+    )
+
+    results = {
+        "config": {
+            "quick": args.quick,
+            "seed": args.seed,
+            "threads": spec["threads"],
+            "tenants": spec["tenants"],
+            "graphs": spec["graphs"],
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+        },
+        "throughput": throughput,
+        "cache": cache,
+        "overload": overload,
+        "tenants": stats["tenants"],
+    }
+
+    OUTPUT_PATH.parent.mkdir(exist_ok=True)
+    payload = json.dumps(results, indent=2) + "\n"
+    OUTPUT_PATH.write_text(payload)
+    ROOT_OUTPUT_PATH.write_text(payload)
+    print(f"[bench_serving] wrote {ROOT_OUTPUT_PATH}", flush=True)
+
+    if throughput["errors"]:
+        print(f"[bench_serving] ERROR: {throughput['errors']} requests failed")
+        return 1
+    if overload["shed"] == 0:
+        print("[bench_serving] ERROR: overload burst shed nothing")
+        return 1
+    if not args.quick and cache["hit_rate"] <= 0.9:
+        print(
+            f"[bench_serving] ERROR: cache hit rate "
+            f"{cache['hit_rate']:.3f} below the 0.9 acceptance bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

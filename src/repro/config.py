@@ -32,6 +32,10 @@ Knob reference
 ``REPRO_BREAKER_COOLDOWN``    seconds a tripped breaker stays open
 ``REPRO_FAULTS``              fault-injection schedule (see repro.faults)
 ``REPRO_FAULTS_SEED``         seed for probabilistic fault draws
+``REPRO_SERVE_MAX_QUEUE``     per-tenant bound on queued+running requests
+``REPRO_SERVE_DEADLINE_MS``   default end-to-end request deadline (0 = none)
+``REPRO_SERVE_RETRIES``       bounded retries around sharded-pool execution
+``REPRO_PLAN_CACHE_SIZE``     fingerprint-keyed plan cache capacity
 """
 
 from __future__ import annotations
@@ -63,6 +67,10 @@ __all__ = [
     "breaker_cooldown_seconds",
     "faults_spec",
     "faults_seed",
+    "serve_max_queue",
+    "serve_deadline_seconds",
+    "serve_retries",
+    "plan_cache_size",
     "override_env",
 ]
 
@@ -245,6 +253,27 @@ def faults_spec() -> Optional[str]:
 def faults_seed() -> int:
     """``REPRO_FAULTS_SEED``: seed for probabilistic fault draws."""
     return env_int("REPRO_FAULTS_SEED", 0)
+
+
+def serve_max_queue() -> int:
+    """``REPRO_SERVE_MAX_QUEUE``: per-tenant queued+running request bound."""
+    return env_int("REPRO_SERVE_MAX_QUEUE", 64, minimum=1)
+
+
+def serve_deadline_seconds() -> Optional[float]:
+    """``REPRO_SERVE_DEADLINE_MS``: default request deadline, or None (off)."""
+    value = env_float("REPRO_SERVE_DEADLINE_MS", 0.0, minimum=0.0)
+    return value / 1e3 if value > 0 else None
+
+
+def serve_retries() -> int:
+    """``REPRO_SERVE_RETRIES``: bounded retries on sharded worker failure."""
+    return env_int("REPRO_SERVE_RETRIES", 2, minimum=0)
+
+
+def plan_cache_size() -> int:
+    """``REPRO_PLAN_CACHE_SIZE``: capacity of the fingerprint plan cache."""
+    return env_int("REPRO_PLAN_CACHE_SIZE", 128, minimum=1)
 
 
 def override_env(overrides):

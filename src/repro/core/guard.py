@@ -33,6 +33,7 @@ Fault paths are exercised deterministically by :mod:`repro.faults`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -318,6 +319,12 @@ class CircuitBreaker:
     When the cooldown elapses the key resets fully (closed, count zero),
     restoring the strategy to the candidate pool.
 
+    All mutation happens under an internal lock: the serving runtime
+    calls one breaker from many worker threads at once (per-tenant
+    breakers are shared by every in-flight request of that tenant), so
+    count/trip transitions must be atomic — two threads racing the
+    threshold must produce exactly one trip.
+
     ``clock`` is injectable so tests can drive cooldown expiry without
     sleeping.
     """
@@ -337,6 +344,7 @@ class CircuitBreaker:
             else config.breaker_cooldown_seconds()
         )
         self._clock = clock
+        self._lock = threading.RLock()
         self._failures: Dict[Tuple[str, str], int] = {}
         self._open_until: Dict[Tuple[str, str], float] = {}
 
@@ -349,42 +357,46 @@ class CircuitBreaker:
     def record_failure(self, primitive: str, strategy: str) -> bool:
         """Count one failure; returns True if the key just tripped."""
         key = (primitive, strategy)
-        self._expire(key)
-        count = self._failures.get(key, 0) + 1
-        self._failures[key] = count
-        if count >= self.threshold and key not in self._open_until:
-            self._open_until[key] = self._clock() + self.cooldown_seconds
-            return True
-        return False
+        with self._lock:
+            self._expire(key)
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count >= self.threshold and key not in self._open_until:
+                self._open_until[key] = self._clock() + self.cooldown_seconds
+                return True
+            return False
 
     def record_success(self, primitive: str, strategy: str) -> None:
         """A successful call closes the failure streak for its key."""
         key = (primitive, strategy)
-        if key not in self._open_until:
-            self._failures.pop(key, None)
+        with self._lock:
+            if key not in self._open_until:
+                self._failures.pop(key, None)
 
     def is_open(self, primitive: str, strategy: str) -> bool:
         key = (primitive, strategy)
-        self._expire(key)
-        return key in self._open_until
+        with self._lock:
+            self._expire(key)
+            return key in self._open_until
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """Serializable view of the breaker state (for reports)."""
-        now = self._clock()
-        state: Dict[str, Dict[str, float]] = {}
-        for key, count in self._failures.items():
-            entry = state.setdefault(
-                "/".join(key), {"failures": float(count), "open": 0.0}
-            )
-            entry["failures"] = float(count)
-        for key, until in self._open_until.items():
-            entry = state.setdefault(
-                "/".join(key),
-                {"failures": float(self._failures.get(key, 0)), "open": 0.0},
-            )
-            entry["open"] = 1.0
-            entry["reopens_in_seconds"] = max(0.0, until - now)
-        return state
+        with self._lock:
+            now = self._clock()
+            state: Dict[str, Dict[str, float]] = {}
+            for key, count in self._failures.items():
+                entry = state.setdefault(
+                    "/".join(key), {"failures": float(count), "open": 0.0}
+                )
+                entry["failures"] = float(count)
+            for key, until in self._open_until.items():
+                entry = state.setdefault(
+                    "/".join(key),
+                    {"failures": float(self._failures.get(key, 0)), "open": 0.0},
+                )
+                entry["open"] = 1.0
+                entry["reopens_in_seconds"] = max(0.0, until - now)
+            return state
 
 
 # ----------------------------------------------------------------------
@@ -496,8 +508,6 @@ class GuardedExecutor:
             primitive=str(getattr(exc, "granii_primitive", "") or ""),
             seconds=seconds,
         )
-        self.selection.demotions.append(record)
-        self.selection.last_error = record.message
         planned, strategy = self.rungs[self.rung]
         if exc is not None and reason in ("kernel_error", "deadline", "memory"):
             primitive = record.primitive or "plan"
@@ -505,7 +515,9 @@ class GuardedExecutor:
             if primitive == "spmm_unweighted":
                 # strategy-level accounting shared by both spmm flavours
                 self.engine.breakers.record_failure("spmm", strategy)
-        self.selection.breaker_state = self.engine.breakers.snapshot()
+        self.selection.record_demotion(
+            record, breaker_state=self.engine.breakers.snapshot()
+        )
         self.rung += 1
 
     # ------------------------------------------------------------------
@@ -531,9 +543,7 @@ class GuardedExecutor:
 
         if verdict.env_key != analysis_env_key(env):
             return None
-        note = "memory_estimate:static"
-        if note not in self.selection.runtime_checks_skipped:
-            self.selection.runtime_checks_skipped.append(note)
+        self.selection.record_runtime_check_skipped("memory_estimate:static")
         return estimate
 
     # ------------------------------------------------------------------
@@ -543,6 +553,24 @@ class GuardedExecutor:
         mode = "tensor" if isinstance(feat, Tensor) else "numpy"
         env = self._env_for(g)
         budget = ExecutionBudget.for_plan(self._predicted_seconds(planned))
+        deadline_at = getattr(self.selection, "deadline_at", None)
+        if deadline_at is not None:
+            # a serving request's end-to-end deadline clamps every rung's
+            # kernel budget: no rung may outlive the request it serves
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                raise GraniiDeadlineError(
+                    "request deadline exhausted before plan execution "
+                    "started (REPRO_SERVE_DEADLINE_MS / request deadline)",
+                    budget=0.0,
+                    observed=-remaining,
+                )
+            if budget.deadline_seconds is None:
+                budget.deadline_seconds = remaining
+            else:
+                budget.deadline_seconds = min(
+                    budget.deadline_seconds, remaining
+                )
         precomputed = None
         if budget.memory_budget_bytes is not None:
             precomputed = self._static_peak_estimate(plan, env)
@@ -610,14 +638,23 @@ class GuardedExecutor:
                     (self._rung_label(self.rung), _failure_reason(exc), repr(exc))
                 )
                 self._demote(_failure_reason(exc), exc, seconds=elapsed)
+                deadline_at = getattr(self.selection, "deadline_at", None)
+                if (
+                    isinstance(exc, GraniiDeadlineError)
+                    and deadline_at is not None
+                    and time.monotonic() >= deadline_at
+                ):
+                    # the *request* deadline (not just this rung's budget)
+                    # is spent: walking further down the ladder can only
+                    # finish later than the caller will wait
+                    raise
                 continue
             if self.engine.verify_plans and self.rung not in self._verified_rungs:
                 self._verified_rungs.add(self.rung)
                 ok, note = self.engine._verify_against_reference(
                     self.layer, planned.plan, g, feat, out
                 )
-                self.selection.verified = ok
-                self.selection.verify_note = note
+                self.selection.record_verification(ok, note)
                 if not ok:
                     attempts.append(
                         (self._rung_label(self.rung), "verification", note)

@@ -16,6 +16,7 @@ reported, mirroring the paper's overhead accounting (§VI-C1).
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -83,6 +84,48 @@ class SelectionReport:
     # guard skipped because the verdict already proved them
     analysis: Optional[object] = None
     runtime_checks_skipped: List[str] = field(default_factory=list)
+    # monotonic timestamp after which execution must not start a kernel;
+    # set by the serving runtime to propagate a request deadline into the
+    # guarded executor's per-plan budgets
+    deadline_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # Serving executes one selection from several worker threads
+        # (retries share the report); all list/state mutation goes through
+        # the record_* methods under this lock.  The lock is identity
+        # state, not data: it is dropped on pickle and recreated fresh.
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def record_demotion(
+        self, record: DemotionRecord, breaker_state=None
+    ) -> None:
+        """Thread-safely append one demotion (and the breaker snapshot)."""
+        with self._lock:
+            self.demotions.append(record)
+            self.last_error = record.message
+            if breaker_state is not None:
+                self.breaker_state = breaker_state
+
+    def record_verification(self, ok: bool, note: str) -> None:
+        """Thread-safely store a runtime-verification outcome."""
+        with self._lock:
+            self.verified = ok
+            self.verify_note = note
+
+    def record_runtime_check_skipped(self, note: str) -> None:
+        """Thread-safely note a runtime check proved statically (once)."""
+        with self._lock:
+            if note not in self.runtime_checks_skipped:
+                self.runtime_checks_skipped.append(note)
 
     @property
     def label(self) -> str:
@@ -481,8 +524,7 @@ class GraniiEngine:
                     layer, plan, g, feat, out
                 )
                 if selection is not None:
-                    selection.verified = ok
-                    selection.verify_note = note
+                    selection.record_verification(ok, note)
                 if not ok:
                     verify_state["fallback"] = True
                     warnings.warn(note, RuntimeWarning, stacklevel=2)

@@ -23,6 +23,7 @@ __all__ = [
     "GraniiDeadlineError",
     "GraniiMemoryError",
     "GraniiExecutionError",
+    "GraniiOverloadError",
     "GraniiAnalysisError",
 ]
 
@@ -77,6 +78,30 @@ class GraniiExecutionError(GraniiError, RuntimeError):
         super().__init__(message)
         # (label, reason, repr(error)) per failed rung, outermost first
         self.attempts = list(attempts)
+
+
+class GraniiOverloadError(GraniiError, RuntimeError):
+    """A serving request was shed instead of queued unboundedly.
+
+    Raised at admission time by :class:`repro.serving.GraniiService` when
+    a tenant's bounded queue is full (backpressure) or the service is
+    draining.  ``retry_after_seconds`` is the load-shedding hint: an
+    estimate of when the tenant's queue will have drained enough for a
+    resubmission to be admitted (0 means "do not retry": the service is
+    closed, not busy).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_seconds: float = 0.0,
+        tenant: str = "",
+        depth: int = 0,
+    ):
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self.tenant = tenant
+        self.depth = int(depth)
 
 
 class GraniiAnalysisError(GraniiError, KeyError, ValueError):

@@ -260,7 +260,14 @@ def _corrupt(value, scale: float):
 
 
 @contextmanager
-def fault_injection(plan: FaultPlan) -> Iterator[FaultPlan]:
-    """Install ``plan`` on the kernel-dispatch seam for the block."""
-    with kernel_wrapper(plan.wrapper):
+def fault_injection(
+    plan: FaultPlan, thread_local: bool = False
+) -> Iterator[FaultPlan]:
+    """Install ``plan`` on the kernel-dispatch seam for the block.
+
+    ``thread_local=True`` confines the faults to dispatches made by the
+    calling thread — the serving runtime's request-scoped fault plans,
+    which must not contaminate other tenants' concurrent requests.
+    """
+    with kernel_wrapper(plan.wrapper, thread_local=thread_local):
         yield plan

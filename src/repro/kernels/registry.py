@@ -23,6 +23,7 @@ installed.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Mapping
@@ -202,28 +203,57 @@ KernelWrapper = Callable[[str, Callable[[], object], str], object]
 
 _KERNEL_WRAPPERS: List[KernelWrapper] = []
 
+# Thread-local wrappers: installed by one thread, seen only by dispatches
+# on that thread, and chained *outside* the global wrappers.  The serving
+# runtime uses this scope for request-confined behaviour — per-request
+# fault plans and sharded-retry policies must not leak onto requests
+# other worker threads are executing concurrently.
+_TLS = threading.local()
 
-def push_kernel_wrapper(wrapper: KernelWrapper) -> None:
-    """Install a dispatch wrapper; the most recently pushed runs outermost."""
-    _KERNEL_WRAPPERS.append(wrapper)
+
+def _thread_wrappers(create: bool = False):
+    wrappers = getattr(_TLS, "wrappers", None)
+    if wrappers is None and create:
+        wrappers = _TLS.wrappers = []
+    return wrappers
 
 
-def remove_kernel_wrapper(wrapper: KernelWrapper) -> None:
+def push_kernel_wrapper(
+    wrapper: KernelWrapper, thread_local: bool = False
+) -> None:
+    """Install a dispatch wrapper; the most recently pushed runs outermost.
+
+    With ``thread_local=True`` the wrapper only wraps dispatches made
+    from the calling thread, outside any globally installed wrappers.
+    """
+    if thread_local:
+        _thread_wrappers(create=True).append(wrapper)
+    else:
+        _KERNEL_WRAPPERS.append(wrapper)
+
+
+def remove_kernel_wrapper(
+    wrapper: KernelWrapper, thread_local: bool = False
+) -> None:
     """Remove a previously pushed wrapper (no-op if absent)."""
+    wrappers = _thread_wrappers() if thread_local else _KERNEL_WRAPPERS
     try:
-        _KERNEL_WRAPPERS.remove(wrapper)
+        if wrappers is not None:
+            wrappers.remove(wrapper)
     except ValueError:
         pass
 
 
 @contextmanager
-def kernel_wrapper(wrapper: KernelWrapper) -> Iterator[None]:
+def kernel_wrapper(
+    wrapper: KernelWrapper, thread_local: bool = False
+) -> Iterator[None]:
     """Scoped :func:`push_kernel_wrapper` / :func:`remove_kernel_wrapper`."""
-    push_kernel_wrapper(wrapper)
+    push_kernel_wrapper(wrapper, thread_local=thread_local)
     try:
         yield
     finally:
-        remove_kernel_wrapper(wrapper)
+        remove_kernel_wrapper(wrapper, thread_local=thread_local)
 
 
 def dispatch_kernel(
@@ -235,10 +265,15 @@ def dispatch_kernel(
     execution funnels every step through here so faults and
     instrumentation can interpose without touching kernel code.
     """
-    if not _KERNEL_WRAPPERS:
+    local = _thread_wrappers()
+    if not _KERNEL_WRAPPERS and not local:
         return call()
     chained = call
     for wrapper in _KERNEL_WRAPPERS:
+        chained = (
+            lambda w=wrapper, nxt=chained: w(primitive, nxt, tag)
+        )
+    for wrapper in local or ():
         chained = (
             lambda w=wrapper, nxt=chained: w(primitive, nxt, tag)
         )

@@ -40,6 +40,7 @@ double-unlink races.
 from __future__ import annotations
 
 import atexit
+import logging
 import os
 import queue
 import signal
@@ -72,7 +73,16 @@ __all__ = [
     "select_shard_plan",
     "sharded_pool",
     "shutdown_pool",
+    "sweep_leaked_segments",
 ]
+
+logger = logging.getLogger(__name__)
+
+# Every segment this module creates carries this name prefix plus the
+# creating pid, so a startup sweep can recognise — and reclaim — segments
+# leaked by a previous process that died without running its atexit
+# cleanup (SIGKILL, OOM-kill, power loss).
+SEGMENT_PREFIX = "granii-shm"
 
 # Shards smaller than this run the one-shot row_segment kernel: the tile
 # bookkeeping of the blocked kernel costs more than it saves.
@@ -231,9 +241,82 @@ def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover
 # ----------------------------------------------------------------------
 # Parent side: segments
 # ----------------------------------------------------------------------
+def _segment_name() -> str:
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+
+
 def _create_segment(nbytes: int) -> shared_memory.SharedMemory:
     # SharedMemory refuses size=0; zero-size arrays ride a 1-byte segment
-    return shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+    return shared_memory.SharedMemory(
+        create=True, size=max(int(nbytes), 1), name=_segment_name()
+    )
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else — not ours to judge
+    except OSError:
+        return True
+    return True
+
+
+_SWEEP_DONE = False
+
+
+def sweep_leaked_segments(shm_dir: str = "/dev/shm") -> List[str]:
+    """Reclaim shared-memory segments leaked by dead processes.
+
+    Scans ``shm_dir`` for segments matching our naming scheme
+    (``granii-shm-<pid>-<token>``), and unlinks every one whose creating
+    pid no longer exists — the leftovers of a process that was
+    SIGKILLed/OOM-killed before its atexit cleanup ran.  Segments of
+    live processes (including our own) are never touched.  Returns the
+    reclaimed segment names; logs a warning naming what it reclaimed.
+    """
+    reclaimed: List[str] = []
+    try:
+        entries = os.listdir(shm_dir)
+    except OSError:
+        return reclaimed  # non-POSIX shm layout: nothing to sweep
+    own_pid = os.getpid()
+    for name in entries:
+        if not name.startswith(SEGMENT_PREFIX + "-"):
+            continue
+        parts = name.split("-")
+        if len(parts) < 4 or not parts[2].isdigit():
+            continue
+        pid = int(parts[2])
+        if pid == own_pid or _pid_alive(pid):
+            continue
+        try:
+            stale = shared_memory.SharedMemory(name=name)
+            stale.close()
+            stale.unlink()
+        except FileNotFoundError:
+            continue  # raced another sweeper; already gone
+        except OSError:
+            continue
+        reclaimed.append(name)
+    if reclaimed:
+        logger.warning(
+            "reclaimed %d leaked shared-memory segment(s) from dead "
+            "processes: %s",
+            len(reclaimed),
+            ", ".join(sorted(reclaimed)),
+        )
+    return reclaimed
+
+
+def _startup_sweep() -> None:
+    """Run the leak sweep once, the first time a pool is brought up."""
+    global _SWEEP_DONE
+    if not _SWEEP_DONE:
+        _SWEEP_DONE = True
+        sweep_leaked_segments()
 
 
 def _fill_segment(shm: shared_memory.SharedMemory, arr: np.ndarray) -> None:
@@ -300,7 +383,9 @@ def _acquire_buffer(nbytes: int) -> shared_memory.SharedMemory:
     free = _BUFFER_POOL.get(size)
     if free:
         return free.pop()
-    return shared_memory.SharedMemory(create=True, size=size)
+    return shared_memory.SharedMemory(
+        create=True, size=size, name=_segment_name()
+    )
 
 
 def _release_buffer(shm: shared_memory.SharedMemory) -> None:
@@ -454,6 +539,7 @@ def _get_pool(num_workers: int) -> _WorkerPool:
         _POOL.shutdown()
         _POOL = None
     if _POOL is None:
+        _startup_sweep()
         _POOL = _WorkerPool(num_workers)
     return _POOL
 

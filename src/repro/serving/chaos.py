@@ -1,0 +1,503 @@
+"""Service-level chaos: drive ``GraniiService`` through failure storms.
+
+``python -m repro.serving.chaos`` extends the engine-level chaos driver
+(:mod:`repro.faults.chaos`) one level up: instead of faulting a single
+guarded executor, each scenario runs a *multi-tenant traffic mix*
+through a live service and checks the serving contract:
+
+- **no hangs**: every admitted request's future resolves within the
+  gather timeout;
+- **no raw escapes**: every terminal outcome is a result or a
+  structured ``GraniiError`` (``raw_escape`` outcomes are violations);
+- **isolation**: a clean tenant sharing the thread pool with a
+  poisoned tenant gets correct, undemoted answers;
+- **breaker demotion**: a tenant whose requests keep failing is
+  demoted to the reference path (outcome ``reference``), not errored
+  forever;
+- **backpressure**: an overload burst sheds with
+  :class:`~repro.errors.GraniiOverloadError` carrying a positive
+  retry-after hint, and every accepted request still terminates;
+- **collision safety**: a forced fingerprint key collision is detected
+  by the structural token and served by recompute — never by the
+  colliding entry's plan.
+
+Scenarios: ``slow-tenant``, ``poison-graph``, ``worker-kill``,
+``cache-collision``, ``overload``, ``poison-input``.  Each is seeded
+and replayable; exit status is non-zero iff any violation is recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from concurrent.futures import Future, TimeoutError as FutureTimeout
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.costmodel import get_cost_models
+from ..errors import GraniiError, GraniiInputError, GraniiOverloadError
+from ..faults import FaultPlan
+from ..graphs.generators import erdos_renyi
+from ..models import build_layer
+from .fingerprint import fingerprint_graph
+from .service import GraniiService, ServeRequest, ServeResult
+
+__all__ = ["main", "SCENARIOS"]
+
+IN_SIZE, OUT_SIZE = 16, 8
+GATHER_TIMEOUT_SECONDS = 60.0
+
+# outcomes that violate the serving contract when they appear anywhere
+BAD_OUTCOMES = ("raw_escape", "hang", "mismatch", "isolation_breach")
+
+
+def _service(cost_models, **kwargs) -> GraniiService:
+    kwargs.setdefault("device", "cpu")
+    kwargs.setdefault("cost_models", cost_models)
+    kwargs.setdefault("num_threads", 4)
+    svc = GraniiService(**kwargs)
+    svc.register_model("gcn", IN_SIZE, OUT_SIZE)
+    return svc
+
+
+def _reference(graph, feats: np.ndarray) -> np.ndarray:
+    layer = build_layer("gcn", IN_SIZE, OUT_SIZE, rng=np.random.default_rng(0))
+    return np.asarray(layer(graph, feats).data)
+
+
+def _gather(
+    futures: List["Future[ServeResult]"], violations: List[str]
+) -> List[ServeResult]:
+    """Resolve every future; a timeout is the cardinal sin (a hang)."""
+    results: List[ServeResult] = []
+    for future in futures:
+        try:
+            result = future.result(timeout=GATHER_TIMEOUT_SECONDS)
+        except FutureTimeout:
+            violations.append(
+                f"hang: a request future did not resolve within "
+                f"{GATHER_TIMEOUT_SECONDS:.0f}s"
+            )
+            continue
+        results.append(result)
+        if result.outcome == "raw_escape":
+            violations.append(
+                f"raw_escape: {result.tenant}/{result.request_id}: "
+                f"{result.error_type}: {result.error}"
+            )
+    return results
+
+
+def _check_clean(
+    results: List[ServeResult],
+    reference: np.ndarray,
+    violations: List[str],
+    tenant: str = "clean",
+) -> None:
+    """The isolation contract: the clean tenant is correct and untouched."""
+    for r in results:
+        if r.tenant != tenant:
+            continue
+        if not r.ok:
+            violations.append(
+                f"isolation_breach: clean tenant request {r.request_id} "
+                f"failed: {r.error_type}: {r.error}"
+            )
+        elif r.outcome != "ok" or r.demotions:
+            violations.append(
+                f"isolation_breach: clean tenant request {r.request_id} "
+                f"ended {r.outcome!r} with demotions {r.demotions}"
+            )
+        elif not np.allclose(r.value, reference, rtol=1e-4, atol=1e-6):
+            violations.append(
+                f"mismatch: clean tenant request {r.request_id} diverged "
+                f"from the baseline "
+                f"(max_abs_err={float(np.max(np.abs(r.value - reference))):.3e})"
+            )
+
+
+def _record(
+    name: str, violations: List[str], t0: float, **extra
+) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "scenario": name,
+        "outcome": "violated" if violations else "ok",
+        "violations": violations,
+        "seconds": round(time.perf_counter() - t0, 3),
+    }
+    record.update(extra)
+    return record
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def scenario_slow_tenant(graph, feats, reference, cost_models, seed, n):
+    """A tenant whose kernels stall must time out (structured), while a
+    clean tenant sharing the pool still gets correct, undemoted
+    answers.  The deadline rides the slow tenant's *requests* — the
+    clean tenant carries none, because a shared thread pool gives no
+    latency guarantee while a neighbor's work is stalling workers; the
+    isolation contract here is correctness, demotion state, and
+    termination, not tail latency."""
+    t0 = time.perf_counter()
+    violations: List[str] = []
+    with _service(cost_models, retries=0) as svc:
+        futures = []
+        for i in range(n):
+            slow_plan = FaultPlan.from_string("*:slow:1.0:0.3", seed=seed + i)
+            futures.append(svc.submit(ServeRequest(
+                tenant="slow", model="gcn", graph=graph, feats=feats,
+                fault_plan=slow_plan, deadline_seconds=0.5,
+            )))
+            futures.append(svc.submit(ServeRequest(
+                tenant="clean", model="gcn", graph=graph, feats=feats,
+            )))
+        results = _gather(futures, violations)
+    _check_clean(results, reference, violations)
+    slow = [r for r in results if r.tenant == "slow"]
+    timeouts = sum(1 for r in slow if r.outcome == "timeout")
+    if not any(r.outcome in ("timeout", "ok_demoted", "error") for r in slow):
+        violations.append(
+            "mismatch: every slow-tenant request completed clean under a "
+            "100% stall fault — the injected faults never reached the "
+            "kernels"
+        )
+    return _record(
+        "slow-tenant", violations, t0,
+        slow_outcomes=sorted({r.outcome for r in slow}), timeouts=timeouts,
+    )
+
+
+def scenario_poison_graph(graph, feats, reference, cost_models, seed, n):
+    """A tenant whose every kernel raises must demote through its own
+    ladder, trip the tenant breaker, and land on the reference path —
+    with the clean tenant never seeing a demotion."""
+    t0 = time.perf_counter()
+    violations: List[str] = []
+    with _service(
+        cost_models, tenant_breaker_threshold=3,
+        tenant_breaker_cooldown=300.0,
+    ) as svc:
+        poison_results: List[ServeResult] = []
+        # sequential on the poisoned tenant so breaker state accumulates
+        # deterministically; the clean tenant rides the pool concurrently
+        clean_futures = [
+            svc.submit(ServeRequest(
+                tenant="clean", model="gcn", graph=graph, feats=feats,
+            ))
+            for _ in range(n)
+        ]
+        for i in range(max(n, 6)):
+            plan = FaultPlan.from_string("*:raise:1.0", seed=seed + i)
+            poison_results.append(svc.serve(ServeRequest(
+                tenant="poison", model="gcn", graph=graph, feats=feats,
+                fault_plan=plan,
+            ), timeout=GATHER_TIMEOUT_SECONDS))
+        results = _gather(clean_futures, violations) + poison_results
+        stats = svc.stats()
+    _check_clean(results, reference, violations)
+    for r in poison_results:
+        if r.outcome == "raw_escape":
+            violations.append(
+                f"raw_escape: poison/{r.request_id}: "
+                f"{r.error_type}: {r.error}"
+            )
+        elif r.ok and not np.allclose(
+            r.value, reference, rtol=1e-4, atol=1e-6
+        ):
+            violations.append(
+                f"mismatch: poison/{r.request_id} returned ok with a "
+                f"wrong value"
+            )
+    referenced = sum(1 for r in poison_results if r.outcome == "reference")
+    if referenced == 0:
+        violations.append(
+            "mismatch: the tenant breaker never demoted the poisoned "
+            "tenant to the reference path"
+        )
+    return _record(
+        "poison-graph", violations, t0,
+        poison_outcomes=sorted({r.outcome for r in poison_results}),
+        reference_served=referenced,
+        breaker_trips=stats["tenants"]["poison"]["breaker_trips"],
+    )
+
+
+def scenario_worker_kill(graph, feats, reference, cost_models, seed, n):
+    """SIGKILL storms against the sharded pool: retries absorb transient
+    worker deaths (rebuilding the pool) or the ladder demotes — either
+    way every request terminates with a correct value, no hangs."""
+    from ..kernels.sharded import shutdown_pool
+
+    t0 = time.perf_counter()
+    violations: List[str] = []
+    try:
+        with _service(
+            cost_models, spmm_strategy="spmm_sharded", retries=3,
+            num_threads=2,
+        ) as svc:
+            futures = []
+            for i in range(n):
+                plan = FaultPlan.from_string(
+                    "spmm:kill_worker:0.5", seed=seed + i
+                )
+                futures.append(svc.submit(ServeRequest(
+                    tenant="kills", model="gcn", graph=graph, feats=feats,
+                    fault_plan=plan,
+                )))
+            results = _gather(futures, violations)
+    finally:
+        shutdown_pool()
+    retried = sum(r.retries for r in results)
+    demoted = sum(1 for r in results if r.demotions)
+    for r in results:
+        if not r.ok and r.outcome not in ("timeout", "error"):
+            violations.append(
+                f"raw_escape: kills/{r.request_id}: "
+                f"{r.error_type}: {r.error}"
+            )
+        if r.ok and not np.allclose(
+            r.value, reference, rtol=1e-4, atol=1e-6
+        ):
+            violations.append(
+                f"mismatch: kills/{r.request_id} survived the kill storm "
+                f"with a wrong value"
+            )
+    if not any(r.ok for r in results):
+        violations.append(
+            "mismatch: no request survived the kill storm — retries and "
+            "the fallback ladder both failed"
+        )
+    return _record(
+        "worker-kill", violations, t0,
+        served=sum(1 for r in results if r.ok),
+        kernel_retries=retried, demoted_requests=demoted,
+    )
+
+
+def scenario_cache_collision(graph, feats, cost_models, seed, n):
+    """Adversarial fingerprinting: every graph hashes to the same cache
+    key.  The structural token must catch the collision and each graph
+    must still get the answer for *its* structure."""
+    t0 = time.perf_counter()
+    violations: List[str] = []
+
+    def colliding_fingerprint(g, model_name, in_size, out_size):
+        fp = fingerprint_graph(g, model_name, in_size, out_size)
+        return type(fp)(key="deadbeef" * 5, token=fp.token)
+
+    other = erdos_renyi(graph.num_nodes // 2, avg_degree=5, seed=seed + 11)
+    other_feats = np.random.default_rng(seed).standard_normal(
+        (other.num_nodes, IN_SIZE)
+    )
+    with _service(cost_models, fingerprint_fn=colliding_fingerprint) as svc:
+        futures = []
+        for i in range(n):
+            g, f = (graph, feats) if i % 2 == 0 else (other, other_feats)
+            futures.append(svc.submit(ServeRequest(
+                tenant="collide", model="gcn", graph=g, feats=f,
+            )))
+        results = _gather(futures, violations)
+        stats = svc.cache.stats()
+    ref_a, ref_b = _reference(graph, feats), _reference(other, other_feats)
+    for r in results:
+        if not r.ok:
+            violations.append(
+                f"raw_escape: collide/{r.request_id} failed under a mere "
+                f"key collision: {r.error_type}: {r.error}"
+            )
+            continue
+        expect = ref_a if r.value.shape[0] == graph.num_nodes else ref_b
+        if not np.allclose(r.value, expect, rtol=1e-4, atol=1e-6):
+            violations.append(
+                f"mismatch: collide/{r.request_id} was served the "
+                f"colliding entry's plan (wrong value for its structure)"
+            )
+    if stats["collisions"] < 1:
+        violations.append(
+            "mismatch: forced key collisions were never detected by the "
+            "structural token"
+        )
+    return _record(
+        "cache-collision", violations, t0,
+        collisions=stats["collisions"], hits=stats["hits"],
+    )
+
+
+def scenario_overload(graph, feats, reference, cost_models, seed, n):
+    """A burst far past the queue bound: excess requests shed with a
+    positive retry-after hint, accepted ones all terminate."""
+    t0 = time.perf_counter()
+    violations: List[str] = []
+    burst = max(4 * n, 12)
+    with _service(
+        cost_models, num_threads=1, max_queue=2, retries=0,
+    ) as svc:
+        futures, sheds, hints = [], 0, []
+        for i in range(burst):
+            plan = FaultPlan.from_string("*:slow:1.0:0.05", seed=seed + i)
+            try:
+                futures.append(svc.submit(ServeRequest(
+                    tenant="burst", model="gcn", graph=graph, feats=feats,
+                    fault_plan=plan,
+                )))
+            except GraniiOverloadError as exc:
+                sheds += 1
+                hints.append(exc.retry_after_seconds)
+                if exc.retry_after_seconds <= 0:
+                    violations.append(
+                        "mismatch: a shed carried no positive retry-after "
+                        "hint"
+                    )
+        results = _gather(futures, violations)
+    if sheds == 0:
+        violations.append(
+            f"mismatch: a burst of {burst} against a queue bound of 2 "
+            f"shed nothing — backpressure is not engaging"
+        )
+    if not any(r.ok for r in results):
+        violations.append(
+            "mismatch: the overloaded service served nothing at all"
+        )
+    return _record(
+        "overload", violations, t0,
+        burst=burst, accepted=len(futures), shed=sheds,
+        served=sum(1 for r in results if r.ok),
+        max_retry_hint=round(max(hints), 4) if hints else 0.0,
+    )
+
+
+def scenario_poison_input(graph, feats, cost_models, seed, n):
+    """Malformed requests die at admission, on the caller's thread, with
+    structured errors — they never occupy a worker."""
+    t0 = time.perf_counter()
+    violations: List[str] = []
+    nan_feats = feats.copy()
+    nan_feats[3, 2] = np.nan
+    cases: List[Tuple[str, ServeRequest]] = [
+        ("nan-features", ServeRequest(
+            tenant="bad", model="gcn", graph=graph, feats=nan_feats)),
+        ("wrong-width", ServeRequest(
+            tenant="bad", model="gcn", graph=graph,
+            feats=feats[:, : IN_SIZE // 2].copy())),
+        ("unknown-model", ServeRequest(
+            tenant="bad", model="resnet50", graph=graph, feats=feats)),
+        ("bad-deadline", ServeRequest(
+            tenant="bad", model="gcn", graph=graph, feats=feats,
+            deadline_seconds=-1.0)),
+    ]
+    caught = {}
+    with _service(cost_models) as svc:
+        for name, request in cases:
+            try:
+                svc.submit(request)
+                violations.append(
+                    f"mismatch: {name} was admitted instead of rejected"
+                )
+            except GraniiInputError as exc:
+                caught[name] = type(exc).__name__
+            except GraniiError as exc:
+                caught[name] = type(exc).__name__
+            except Exception as exc:  # noqa: BLE001
+                violations.append(
+                    f"raw_escape: {name} raised unstructured "
+                    f"{type(exc).__name__}: {exc}"
+                )
+        stats = svc.stats()
+    if stats["totals"]["completed"] != 0:
+        violations.append(
+            "mismatch: a malformed request reached a worker thread"
+        )
+    return _record("poison-input", violations, t0, rejected=caught)
+
+
+SCENARIOS = (
+    "slow-tenant",
+    "poison-graph",
+    "worker-kill",
+    "cache-collision",
+    "overload",
+    "poison-input",
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.chaos",
+        description=__doc__.split("\n")[0],
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fault RNG seed")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced request counts per scenario (CI smoke)",
+    )
+    parser.add_argument(
+        "--scenarios", default="",
+        help=f"comma-separated subset of {', '.join(SCENARIOS)}",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=200, help="synthetic graph size"
+    )
+    parser.add_argument("--output", default="", help="write results JSON here")
+    args = parser.parse_args(argv)
+
+    wanted = [s for s in args.scenarios.split(",") if s] or list(SCENARIOS)
+    unknown = sorted(set(wanted) - set(SCENARIOS))
+    if unknown:
+        parser.error(f"unknown scenarios: {unknown}; choices: {SCENARIOS}")
+    n = 3 if args.quick else 6
+
+    graph = erdos_renyi(args.nodes, avg_degree=6, seed=7)
+    feats = np.random.default_rng(args.seed).standard_normal(
+        (graph.num_nodes, IN_SIZE)
+    )
+    cost_models = get_cost_models("cpu")
+    reference = _reference(graph, feats)
+
+    runners = {
+        "slow-tenant": lambda: scenario_slow_tenant(
+            graph, feats, reference, cost_models, args.seed, n),
+        "poison-graph": lambda: scenario_poison_graph(
+            graph, feats, reference, cost_models, args.seed, n),
+        "worker-kill": lambda: scenario_worker_kill(
+            graph, feats, reference, cost_models, args.seed, n),
+        "cache-collision": lambda: scenario_cache_collision(
+            graph, feats, cost_models, args.seed, n),
+        "overload": lambda: scenario_overload(
+            graph, feats, reference, cost_models, args.seed, n),
+        "poison-input": lambda: scenario_poison_input(
+            graph, feats, cost_models, args.seed, n),
+    }
+
+    results = []
+    for name in wanted:
+        record = runners[name]()
+        results.append(record)
+        print(f"{record['scenario']:<16} -> {record['outcome']:<9} "
+              f"({record['seconds']}s)")
+        for violation in record["violations"]:
+            print(f"  VIOLATION: {violation}")
+
+    bad = [r for r in results if r["violations"]]
+    print(
+        f"\n{len(results)} scenarios: "
+        f"{len(results) - len(bad)} ok, {len(bad)} violated"
+    )
+    if not bad:
+        print(
+            "serving contract held: no hangs, no raw escapes, tenants "
+            "stayed isolated."
+        )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,673 @@
+"""Multi-tenant ``GraniiService``: a fault-tolerant plan-serving runtime.
+
+This is ROADMAP item 2 — the production story for serving selected
+plans to many concurrent callers.  One service hosts a set of
+registered models and accepts :class:`ServeRequest`\\ s from named
+*tenants*; each request is admitted, planned (or served from the
+fingerprint-keyed plan cache), and executed through the guarded
+runtime.  The failure-handling stack, outermost first:
+
+1. **Admission gate** (caller thread, before anything queues):
+   unknown models and malformed inputs are rejected with
+   :class:`~repro.errors.GraniiInputError` via the same
+   :func:`~repro.core.guard.validate_inputs` the engine uses, and
+   oversized requests with :class:`~repro.errors.GraniiMemoryError`
+   against the :class:`~repro.core.guard.ExecutionBudget` memory knob.
+2. **Backpressure**: each tenant holds a bounded count of
+   queued+running requests (``REPRO_SERVE_MAX_QUEUE``); past the bound
+   the request is *shed* with a structured
+   :class:`~repro.errors.GraniiOverloadError` carrying a retry-after
+   hint derived from the tenant's queue depth and recent latency —
+   the service never queues unboundedly.
+3. **Plan cache** (:class:`~repro.serving.cache.PlanCache`): repeat
+   graphs skip enumeration/selection/static-analysis via a
+   featurizer-hash fingerprint, with single-flight stampede protection
+   and structural-token collision detection.
+4. **Per-tenant isolation**: every tenant gets its own
+   :class:`~repro.core.runtime.GraniiEngine` (hence its own
+   per-(primitive, strategy) circuit breakers), and a tenant-level
+   breaker demotes a tenant whose requests keep failing to the
+   reference message-passing path — one tenant's pathological graphs
+   never trip another tenant's strategies.
+5. **Retry/backoff**: transient sharded-pool failures
+   (:class:`~repro.kernels.sharded.ShardedWorkerError` — a worker
+   SIGKILLed mid-request) are retried at the kernel-dispatch seam with
+   bounded, jittered exponential backoff (``REPRO_SERVE_RETRIES``)
+   before the fallback ladder ever sees them; the pool rebuilds itself
+   between attempts.
+6. **Deadlines**: a request deadline (per request or
+   ``REPRO_SERVE_DEADLINE_MS``) is propagated into every rung's kernel
+   budget via ``SelectionReport.deadline_at``, so a slow tenant's
+   requests time out with a structured error instead of occupying a
+   worker forever.
+
+Every request terminates in a :class:`ServeResult` — a value, a value
+with recorded demotions, or a structured error with the attempt chain
+attached.  Raw exceptions never escape a worker thread.
+
+Request-scoped chaos: a :class:`~repro.faults.FaultPlan` attached to a
+request is installed **thread-locally** for exactly that request's
+execution, so the chaos driver can poison one tenant's kernels while
+another tenant's requests run clean on sibling threads
+(``python -m repro.serving.chaos``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import uuid
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import config
+from ..core.guard import (
+    CircuitBreaker,
+    ExecutionBudget,
+    validate_inputs,
+    value_nbytes,
+)
+from ..core.runtime import GraniiEngine, SelectionReport
+from ..errors import (
+    GraniiDeadlineError,
+    GraniiError,
+    GraniiInputError,
+    GraniiMemoryError,
+    GraniiOverloadError,
+)
+from ..faults import FaultPlan, fault_injection
+from ..kernels.registry import kernel_wrapper
+from ..kernels.sharded import ShardedWorkerError
+from ..models import build_layer
+from .cache import PlanCache
+from .fingerprint import fingerprint_graph
+
+__all__ = [
+    "GraniiService",
+    "ModelSpec",
+    "ServeRequest",
+    "ServeResult",
+    "TenantState",
+]
+
+_RETRY_BASE_SECONDS = 0.05
+_RETRY_MAX_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One model the service hosts; ``factory`` yields a fresh layer with
+    the served weights (layers are per-request: executor attachment
+    mutates the layer, and requests must not share that state)."""
+
+    name: str  # the name requests address
+    model: str  # zoo model type ("gcn", "gat", ...)
+    in_size: int
+    out_size: int
+    factory: Callable[[], object]
+
+
+@dataclass
+class ServeRequest:
+    """One inference request from one tenant."""
+
+    tenant: str
+    model: str
+    graph: object
+    feats: np.ndarray
+    request_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    # None -> the service default (REPRO_SERVE_DEADLINE_MS); 0/negative
+    # is rejected at admission
+    deadline_seconds: Optional[float] = None
+    # request-scoped chaos: installed thread-locally around execution
+    fault_plan: Optional[FaultPlan] = None
+
+
+@dataclass
+class ServeResult:
+    """How one admitted request terminated.  ``ok`` outcomes: ``ok``
+    (plan, no demotions), ``ok_demoted`` (correct via the ladder),
+    ``reference`` (tenant-breaker demotion to the baseline path).
+    Error outcomes: ``timeout``, ``error``, ``raw_escape``."""
+
+    request_id: str
+    tenant: str
+    model: str
+    ok: bool
+    outcome: str
+    value: Optional[np.ndarray] = None
+    cache_hit: bool = False
+    retries: int = 0
+    attempts: List[Tuple[str, str, str]] = field(default_factory=list)
+    demotions: List[str] = field(default_factory=list)
+    error: str = ""
+    error_type: str = ""
+    queue_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+
+@dataclass
+class TenantState:
+    """Per-tenant bookkeeping: the isolated engine plus queue/latency
+    accounting that drives backpressure and retry-after hints."""
+
+    name: str
+    engine: GraniiEngine
+    inflight: int = 0
+    submitted: int = 0
+    served: int = 0
+    failed: int = 0
+    shed: int = 0
+    demoted_requests: int = 0
+    reference_served: int = 0
+    breaker_trips: int = 0
+    ema_latency_seconds: float = 0.05
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "inflight": float(self.inflight),
+            "submitted": float(self.submitted),
+            "served": float(self.served),
+            "failed": float(self.failed),
+            "shed": float(self.shed),
+            "demoted_requests": float(self.demoted_requests),
+            "reference_served": float(self.reference_served),
+            "breaker_trips": float(self.breaker_trips),
+            "ema_latency_seconds": float(self.ema_latency_seconds),
+        }
+
+
+def _sharded_retry_wrapper(
+    retries: int,
+    deadline_at: Optional[float],
+    attempts: List[Tuple[str, str, str]],
+    state: Dict[str, int],
+):
+    """Kernel wrapper retrying sharded-pool failures with jittered
+    exponential backoff.  Installed thread-locally per request, so it
+    sits *outside* the faulted dispatch but *inside* the guard: a
+    transient worker death is absorbed here (the pool rebuilds lazily
+    between attempts) and the fallback ladder only sees failures that
+    out-lasted every retry."""
+
+    def wrapper(primitive: str, next_call, tag: str):
+        delay = _RETRY_BASE_SECONDS
+        attempt = 0
+        while True:
+            try:
+                return next_call()
+            except ShardedWorkerError as exc:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                if (
+                    deadline_at is not None
+                    and time.monotonic() + delay >= deadline_at
+                ):
+                    raise  # no budget left to back off and try again
+                state["count"] += 1
+                attempts.append(
+                    (f"{primitive}@spmm_sharded", "retry", repr(exc))
+                )
+                time.sleep(delay * (0.5 + random.random()))
+                delay = min(delay * 2.0, _RETRY_MAX_SECONDS)
+
+    return wrapper
+
+
+class GraniiService:
+    """Thread-pool plan-serving runtime; see the module docstring.
+
+    The constructor reads its defaults from the ``REPRO_SERVE_*`` /
+    ``REPRO_PLAN_CACHE_SIZE`` knobs; explicit arguments win.  Use as a
+    context manager, or call :meth:`close` to drain.
+    """
+
+    def __init__(
+        self,
+        device: str = "cpu",
+        system: str = "dgl",
+        scale: str = "default",
+        cost_models=None,
+        spmm_strategy: str = "auto",
+        num_threads: int = 4,
+        max_queue: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        retries: Optional[int] = None,
+        plan_cache_size: Optional[int] = None,
+        verify_plans: bool = False,
+        tenant_breaker_threshold: Optional[int] = None,
+        tenant_breaker_cooldown: Optional[float] = None,
+        fingerprint_fn=None,
+    ) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self._device = device
+        self._system = system
+        self._scale = scale
+        self._cost_models = cost_models
+        self._spmm_strategy = spmm_strategy
+        self._verify_plans = bool(verify_plans)
+        self._num_threads = int(num_threads)
+        self._max_queue = (
+            int(max_queue) if max_queue is not None else config.serve_max_queue()
+        )
+        if self._max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._deadline_seconds = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else config.serve_deadline_seconds()
+        )
+        self._retries = (
+            int(retries) if retries is not None else config.serve_retries()
+        )
+        self._cache = PlanCache(
+            plan_cache_size
+            if plan_cache_size is not None
+            else config.plan_cache_size()
+        )
+        self._fingerprint_fn = fingerprint_fn or fingerprint_graph
+        # the selection engine is shared (its outputs are immutable plan
+        # templates); computes are serialized under _select_lock so the
+        # engine never races itself on a multi-key miss burst
+        self._selector = GraniiEngine(
+            device=device,
+            system=system,
+            scale=scale,
+            cost_models=cost_models,
+            spmm_strategy=spmm_strategy,
+            verify_plans=False,
+            guarded=False,
+        )
+        self._select_lock = threading.Lock()
+        self._tenant_breaker = CircuitBreaker(
+            threshold=tenant_breaker_threshold,
+            cooldown_seconds=tenant_breaker_cooldown,
+        )
+        self._models: Dict[str, ModelSpec] = {}
+        self._tenants: Dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._completed = 0
+        self._shed = 0
+        self._rejected = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._num_threads, thread_name_prefix="granii-serve"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting; optionally wait for in-flight requests."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "GraniiService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Model registry
+    # ------------------------------------------------------------------
+    def register_model(
+        self,
+        name: str,
+        in_size: int,
+        out_size: int,
+        model: Optional[str] = None,
+        factory: Optional[Callable[[], object]] = None,
+        seed: int = 0,
+    ) -> ModelSpec:
+        """Host one model.  Without ``factory``, a zoo layer with
+        deterministic weights (``seed``) is built per request."""
+        model = (model or name).lower()
+        if factory is None:
+            def factory(  # noqa: A001 - deliberate closure default
+                _model=model, _in=in_size, _out=out_size, _seed=seed
+            ):
+                return build_layer(
+                    _model, _in, _out, rng=np.random.default_rng(_seed)
+                )
+        spec = ModelSpec(
+            name=name,
+            model=model,
+            in_size=int(in_size),
+            out_size=int(out_size),
+            factory=factory,
+        )
+        with self._lock:
+            self._models[name] = spec
+        return spec
+
+    # ------------------------------------------------------------------
+    # Admission + submission
+    # ------------------------------------------------------------------
+    def _tenant(self, name: str) -> TenantState:
+        """Find-or-create under the service lock (callers hold it)."""
+        state = self._tenants.get(name)
+        if state is None:
+            state = TenantState(
+                name=name,
+                engine=GraniiEngine(
+                    device=self._device,
+                    system=self._system,
+                    scale=self._scale,
+                    cost_models=self._cost_models,
+                    spmm_strategy=self._spmm_strategy,
+                    verify_plans=self._verify_plans,
+                    guarded=True,
+                    breakers=CircuitBreaker(),
+                ),
+            )
+            self._tenants[name] = state
+        return state
+
+    def _retry_after_hint(self, tenant: TenantState, depth: int) -> float:
+        """When this tenant's queue should have drained one slot."""
+        per_slot = tenant.ema_latency_seconds / max(self._num_threads, 1)
+        return max(0.05, (depth - self._max_queue + 1) * per_slot)
+
+    def _admit(self, request: ServeRequest, spec: ModelSpec) -> None:
+        """Pre-queue admission: structure, dtype, and size — every check
+        the engine's own gate would apply, paid once on the caller's
+        thread so a malformed request never occupies a worker."""
+        if (
+            request.deadline_seconds is not None
+            and request.deadline_seconds <= 0
+        ):
+            raise GraniiInputError(
+                f"request deadline must be positive, got "
+                f"{request.deadline_seconds!r}"
+            )
+        validate_inputs(spec, request.graph, request.feats)
+        budget = ExecutionBudget.for_plan()
+        if budget.memory_budget_bytes is not None:
+            observed = value_nbytes(
+                np.asarray(request.feats)
+            ) + value_nbytes(request.graph.adj)
+            if observed > budget.memory_budget_bytes:
+                raise GraniiMemoryError(
+                    f"request carries {observed / 2**20:.1f} MiB of "
+                    f"graph+features, over the "
+                    f"{budget.memory_budget_bytes / 2**20:.1f} MiB budget "
+                    f"(REPRO_MEM_BUDGET_MB)",
+                    budget=budget.memory_budget_bytes,
+                    observed=observed,
+                )
+
+    def submit(self, request: ServeRequest) -> "Future[ServeResult]":
+        """Admit one request; returns a future resolving to a
+        :class:`ServeResult` (the future itself never raises).
+
+        Raises, on the caller's thread: ``GraniiInputError`` /
+        ``GraniiMemoryError`` for malformed or oversized requests,
+        ``GraniiOverloadError`` when the tenant's queue is full or the
+        service is closed.
+        """
+        t_submit = time.monotonic()
+        with self._lock:
+            if self._closed:
+                raise GraniiOverloadError(
+                    "service is closed and not admitting requests",
+                    retry_after_seconds=0.0,
+                    tenant=request.tenant,
+                )
+            spec = self._models.get(request.model)
+        if spec is None:
+            with self._lock:
+                self._rejected += 1
+            raise GraniiInputError(
+                f"unknown model {request.model!r}; registered: "
+                f"{sorted(self._models)}"
+            )
+        try:
+            self._admit(request, spec)
+        except GraniiError:
+            with self._lock:
+                self._rejected += 1
+            raise
+        with self._lock:
+            tenant = self._tenant(request.tenant)
+            depth = tenant.inflight
+            if depth >= self._max_queue:
+                tenant.shed += 1
+                self._shed += 1
+                hint = self._retry_after_hint(tenant, depth)
+                raise GraniiOverloadError(
+                    f"tenant {tenant.name!r} has {depth} requests in "
+                    f"flight (bound {self._max_queue}, "
+                    f"REPRO_SERVE_MAX_QUEUE); shedding — retry in "
+                    f"~{hint * 1e3:.0f} ms",
+                    retry_after_seconds=hint,
+                    tenant=tenant.name,
+                    depth=depth,
+                )
+            tenant.inflight += 1
+            tenant.submitted += 1
+        try:
+            return self._pool.submit(
+                self._process, request, spec, tenant, t_submit
+            )
+        except BaseException:
+            with self._lock:
+                tenant.inflight -= 1
+            raise
+
+    def serve(self, request: ServeRequest, timeout: Optional[float] = None) -> ServeResult:
+        """Synchronous :meth:`submit` + wait."""
+        return self.submit(request).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Execution (worker threads)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _request_scope(self, request: ServeRequest):
+        """Install the request's fault plan thread-locally, if any."""
+        if request.fault_plan is None:
+            yield
+        else:
+            with fault_injection(request.fault_plan, thread_local=True):
+                yield
+
+    def _cached_selection(
+        self, request: ServeRequest, spec: ModelSpec
+    ) -> Tuple[SelectionReport, bool]:
+        """Fingerprint-keyed selection: hit skips enumeration+selection."""
+        fp = self._fingerprint_fn(
+            request.graph, spec.model, spec.in_size, spec.out_size
+        )
+
+        def compute() -> SelectionReport:
+            with self._select_lock:
+                layer = spec.factory()
+                compiled = self._selector.compile_for(layer, request.graph)
+                return self._selector.select(compiled, request.graph, layer)
+
+        return self._cache.get_or_compute(fp.key, fp.token, compute)
+
+    def _request_selection(
+        self, template: SelectionReport, deadline_at: Optional[float]
+    ) -> SelectionReport:
+        """A per-request report sharing the template's immutable plan
+        data; demotions/verification land on the request, not the cache."""
+        return SelectionReport(
+            model_name=template.model_name,
+            chosen=template.chosen,
+            scenario=template.scenario,
+            predicted_costs=dict(template.predicted_costs),
+            viable_count=template.viable_count,
+            feature_seconds=0.0,
+            selection_seconds=0.0,
+            peak_memory_bytes=template.peak_memory_bytes,
+            spmm_strategy=template.spmm_strategy,
+            strategy_costs=dict(template.strategy_costs),
+            ranked=list(template.ranked),
+            analysis=template.analysis,
+            deadline_at=deadline_at,
+        )
+
+    def _reference_value(self, spec: ModelSpec, request: ServeRequest) -> np.ndarray:
+        """The baseline message-passing forward (no executor attached)."""
+        layer = spec.factory()
+        out = layer(request.graph, request.feats)
+        return np.asarray(getattr(out, "data", out))
+
+    def _process(
+        self,
+        request: ServeRequest,
+        spec: ModelSpec,
+        tenant: TenantState,
+        t_submit: float,
+    ) -> ServeResult:
+        started = time.monotonic()
+        deadline = (
+            request.deadline_seconds
+            if request.deadline_seconds is not None
+            else self._deadline_seconds
+        )
+        deadline_at = t_submit + deadline if deadline else None
+        result = ServeResult(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            model=request.model,
+            ok=False,
+            outcome="error",
+            queue_seconds=started - t_submit,
+        )
+        retry_state = {"count": 0}
+        selection: Optional[SelectionReport] = None
+        try:
+            if deadline_at is not None and started >= deadline_at:
+                raise GraniiDeadlineError(
+                    f"request spent its whole {deadline * 1e3:.0f} ms "
+                    f"deadline queued ({(started - t_submit) * 1e3:.0f} ms "
+                    f"before a worker picked it up)",
+                    budget=deadline,
+                    observed=started - t_submit,
+                )
+            with self._request_scope(request):
+                if self._tenant_breaker.is_open("tenant", request.tenant):
+                    # this tenant's recent requests kept failing: serve
+                    # the safe baseline path until the cooldown elapses
+                    result.attempts.append(
+                        ("tenant-breaker", "breaker_open",
+                         "tenant demoted to the reference path")
+                    )
+                    result.value = self._reference_value(spec, request)
+                    result.outcome = "reference"
+                    result.ok = True
+                else:
+                    entry, hit = self._cached_selection(request, spec)
+                    result.cache_hit = hit
+                    selection = self._request_selection(entry, deadline_at)
+                    layer = spec.factory()
+                    executor = tenant.engine.make_executor(
+                        layer,
+                        selection.chosen,
+                        selection.spmm_strategy,
+                        selection=selection,
+                        guarded=True,
+                    )
+                    layer.attach_executor(executor)
+                    retry = _sharded_retry_wrapper(
+                        self._retries, deadline_at,
+                        result.attempts, retry_state,
+                    )
+                    with kernel_wrapper(retry, thread_local=True):
+                        out = layer(request.graph, request.feats)
+                    result.value = np.asarray(getattr(out, "data", out))
+                    result.outcome = (
+                        "ok_demoted" if selection.demotions else "ok"
+                    )
+                    result.ok = True
+        except GraniiError as exc:
+            result.ok = False
+            result.outcome = (
+                "timeout" if isinstance(exc, GraniiDeadlineError) else "error"
+            )
+            result.error = str(exc)
+            result.error_type = type(exc).__name__
+            result.attempts.extend(getattr(exc, "attempts", []) or [])
+        except Exception as exc:  # noqa: BLE001 - the contract bucket:
+            # a raw escape is a bug, but the service must stay up and
+            # the caller must still get a terminal, inspectable result
+            result.ok = False
+            result.outcome = "raw_escape"
+            result.error = str(exc)
+            result.error_type = type(exc).__name__
+        finally:
+            if selection is not None:
+                result.demotions = [
+                    d.describe() for d in selection.demotions
+                ]
+            result.retries = retry_state["count"]
+            result.total_seconds = time.monotonic() - t_submit
+            self._finish(tenant, result)
+        return result
+
+    def _finish(self, tenant: TenantState, result: ServeResult) -> None:
+        """Post-request accounting + tenant breaker bookkeeping."""
+        failed_for_tenant = (not result.ok) and result.outcome != "timeout"
+        demoted = bool(result.demotions)
+        with self._lock:
+            tenant.inflight -= 1
+            self._completed += 1
+            tenant.ema_latency_seconds = (
+                0.8 * tenant.ema_latency_seconds + 0.2 * result.total_seconds
+            )
+            if result.ok:
+                tenant.served += 1
+                if result.outcome == "reference":
+                    tenant.reference_served += 1
+                if demoted:
+                    tenant.demoted_requests += 1
+            else:
+                tenant.failed += 1
+        # breaker mutation outside the service lock (it has its own):
+        # demotions and failures are the tenant-health signal; timeouts
+        # under an aggressive caller deadline are not the tenant's plans
+        # misbehaving, and input errors never reach this path
+        if failed_for_tenant or demoted:
+            if self._tenant_breaker.record_failure("tenant", tenant.name):
+                with self._lock:
+                    tenant.breaker_trips += 1
+        elif result.ok and result.outcome == "ok":
+            self._tenant_breaker.record_success("tenant", tenant.name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            tenants = {
+                name: state.snapshot()
+                for name, state in sorted(self._tenants.items())
+            }
+            totals = {
+                "completed": float(self._completed),
+                "shed": float(self._shed),
+                "rejected": float(self._rejected),
+                "inflight": float(
+                    sum(s.inflight for s in self._tenants.values())
+                ),
+            }
+        return {
+            "totals": totals,
+            "tenants": tenants,
+            "cache": self._cache.stats(),
+            "tenant_breakers": self._tenant_breaker.snapshot(),
+        }
+
+    @property
+    def cache(self) -> PlanCache:
+        return self._cache

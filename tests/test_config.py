@@ -113,3 +113,35 @@ class TestSpecificAccessors:
         monkeypatch.setenv("REPRO_FAULTS_SEED", "11")
         assert config.faults_spec() == "spmm:raise:0.5"
         assert config.faults_seed() == 11
+
+
+class TestServingKnobs:
+    def test_serving_defaults(self):
+        assert config.serve_max_queue() == 64
+        assert config.serve_deadline_seconds() is None
+        assert config.serve_retries() == 2
+        assert config.plan_cache_size() == 128
+
+    def test_serving_accessors(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_QUEUE", "8")
+        monkeypatch.setenv("REPRO_SERVE_DEADLINE_MS", "750")
+        monkeypatch.setenv("REPRO_SERVE_RETRIES", "0")
+        monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "16")
+        assert config.serve_max_queue() == 8
+        assert config.serve_deadline_seconds() == pytest.approx(0.75)
+        assert config.serve_retries() == 0
+        assert config.plan_cache_size() == 16
+
+    def test_serving_knobs_validate_and_name_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_QUEUE", "0")
+        with pytest.raises(GraniiConfigError, match="REPRO_SERVE_MAX_QUEUE"):
+            config.serve_max_queue()
+        monkeypatch.setenv("REPRO_SERVE_DEADLINE_MS", "minute")
+        with pytest.raises(GraniiConfigError, match="REPRO_SERVE_DEADLINE_MS"):
+            config.serve_deadline_seconds()
+        monkeypatch.setenv("REPRO_SERVE_RETRIES", "-1")
+        with pytest.raises(GraniiConfigError, match="REPRO_SERVE_RETRIES"):
+            config.serve_retries()
+        monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "0")
+        with pytest.raises(GraniiConfigError, match="REPRO_PLAN_CACHE_SIZE"):
+            config.plan_cache_size()

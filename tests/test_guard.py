@@ -383,3 +383,91 @@ class TestSelectionReportDemotions:
                 for p in selection.ranked
             ]
             assert costs == sorted(costs)
+
+# ----------------------------------------------------------------------
+# Thread-safety: the serving runtime shares breakers and reports
+# ----------------------------------------------------------------------
+class TestConcurrentMutation:
+    def _hammer(self, fn, threads=8):
+        errors = []
+
+        def run():
+            try:
+                fn()
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        workers = [__import__("threading").Thread(target=run)
+                   for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=30)
+        assert not errors
+
+    def test_breaker_counts_exactly_under_contention(self):
+        breaker = CircuitBreaker(
+            threshold=10_000, cooldown_seconds=1000.0, clock=lambda: 0.0
+        )
+
+        def fail_a_lot():
+            for _ in range(200):
+                breaker.record_failure("spmm", "blocked")
+
+        self._hammer(fail_a_lot)
+        snap = breaker.snapshot()
+        assert snap["spmm/blocked"]["failures"] == 8 * 200
+        assert not breaker.is_open("spmm", "blocked")
+
+    def test_racing_threshold_trips_exactly_once(self):
+        breaker = CircuitBreaker(
+            threshold=50, cooldown_seconds=1000.0, clock=lambda: 0.0
+        )
+        trips = []
+
+        def race():
+            for _ in range(100):
+                if breaker.record_failure("spmm", "sharded"):
+                    trips.append(1)
+
+        self._hammer(race)
+        assert len(trips) == 1
+        assert breaker.is_open("spmm", "sharded")
+
+    def test_mixed_traffic_stays_consistent(self):
+        breaker = CircuitBreaker(
+            threshold=5, cooldown_seconds=1000.0, clock=lambda: 0.0
+        )
+
+        def traffic():
+            for i in range(100):
+                key = ("spmm", f"s{i % 3}")
+                if i % 4 == 0:
+                    breaker.record_success(*key)
+                else:
+                    breaker.record_failure(*key)
+                breaker.is_open(*key)
+                breaker.snapshot()
+
+        self._hammer(traffic)
+        # every touched key is represented with a non-negative count
+        for entry in breaker.snapshot().values():
+            assert entry["failures"] >= 0
+
+    def test_selection_report_concurrent_recording(self, engine, graph, gcn):
+        selection = engine.select(engine.compile_for(gcn, graph), graph, gcn)
+
+        def record():
+            for i in range(100):
+                selection.record_demotion(DemotionRecord(
+                    from_label="a", to_label="b", reason="kernel_error",
+                    message=f"m{i}",
+                ))
+                selection.record_runtime_check_skipped("memory_estimate:static")
+                selection.record_verification(True, "ok")
+
+        self._hammer(record)
+        assert len(selection.demotions) == 8 * 100
+        # dedup'd append under the lock: one entry, not 800
+        assert selection.runtime_checks_skipped == ["memory_estimate:static"]
+        assert selection.verified is True

@@ -1,0 +1,437 @@
+"""Multi-tenant serving runtime: admission, cache, isolation, retries."""
+
+import threading
+import time
+from concurrent.futures import wait
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import get_cost_models
+from repro.errors import (
+    GraniiInputError,
+    GraniiOverloadError,
+)
+from repro.faults import FaultPlan
+from repro.graphs.generators import erdos_renyi
+from repro.kernels.sharded import ShardedWorkerError
+from repro.models import build_layer
+from repro.serving import (
+    GraniiService,
+    GraphFingerprint,
+    PlanCache,
+    ServeRequest,
+    fingerprint_graph,
+)
+from repro.serving.service import _sharded_retry_wrapper
+
+IN_SIZE, OUT_SIZE = 8, 4
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(120, 6.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def other_graph():
+    return erdos_renyi(80, 5.0, seed=9)
+
+
+@pytest.fixture(scope="module")
+def cost_models():
+    # h100/small shares the process-wide cost-model cache with the rest
+    # of the suite
+    return get_cost_models("h100", scale="small")
+
+
+def feats_for(graph, k=IN_SIZE, seed=1):
+    return np.random.default_rng(seed).standard_normal((graph.num_nodes, k))
+
+
+def reference_for(graph, feats):
+    layer = build_layer(
+        "gcn", IN_SIZE, OUT_SIZE, rng=np.random.default_rng(0)
+    )
+    return np.asarray(layer(graph, feats).data)
+
+
+def make_service(cost_models, **kwargs):
+    kwargs.setdefault("device", "h100")
+    kwargs.setdefault("scale", "small")
+    kwargs.setdefault("cost_models", cost_models)
+    kwargs.setdefault("num_threads", 2)
+    svc = GraniiService(**kwargs)
+    svc.register_model("gcn", IN_SIZE, OUT_SIZE)
+    return svc
+
+
+def req(graph, feats, tenant="t", **kwargs):
+    return ServeRequest(
+        tenant=tenant, model="gcn", graph=graph, feats=feats, **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_deterministic(self, graph):
+        a = fingerprint_graph(graph, "gcn", 8, 4)
+        b = fingerprint_graph(graph, "gcn", 8, 4)
+        assert a == b
+
+    def test_scopes_model_and_sizes(self, graph):
+        base = fingerprint_graph(graph, "gcn", 8, 4)
+        assert fingerprint_graph(graph, "gat", 8, 4).key != base.key
+        assert fingerprint_graph(graph, "gcn", 16, 4).key != base.key
+
+    def test_distinct_structures_distinct_tokens(self, graph, other_graph):
+        a = fingerprint_graph(graph, "gcn", 8, 4)
+        b = fingerprint_graph(other_graph, "gcn", 8, 4)
+        assert a.key != b.key
+        assert a.token != b.token
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_hit_and_miss_accounting(self):
+        cache = PlanCache(4)
+        payload, hit = cache.get_or_compute("k1", "t1", lambda: "plan")
+        assert (payload, hit) == ("plan", False)
+        payload, hit = cache.get_or_compute("k1", "t1", lambda: "other")
+        assert (payload, hit) == ("plan", True)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_collision_recomputes_and_keeps_owner(self):
+        cache = PlanCache(4)
+        cache.get_or_compute("k1", "t1", lambda: "owner-plan")
+        payload, hit = cache.get_or_compute("k1", "OTHER", lambda: "fresh")
+        assert (payload, hit) == ("fresh", False)
+        assert cache.stats()["collisions"] == 1
+        # the legitimate owner still hits its entry
+        payload, hit = cache.get_or_compute("k1", "t1", lambda: "x")
+        assert (payload, hit) == ("owner-plan", True)
+
+    def test_lru_eviction_bounds_capacity(self):
+        cache = PlanCache(2)
+        for i in range(4):
+            cache.get_or_compute(f"k{i}", "t", lambda i=i: i)
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 2
+        # the newest entries survived
+        assert cache.lookup("k3", "t") is not None
+        assert cache.lookup("k0", "t") is None
+
+    def test_eviction_does_not_break_inflight_holder(self):
+        cache = PlanCache(1)
+        held, _ = cache.get_or_compute("k0", "t", lambda: {"plan": 0})
+        cache.get_or_compute("k1", "t", lambda: {"plan": 1})  # evicts k0
+        assert cache.lookup("k0", "t") is None
+        # the evicted payload is still a live, usable object
+        assert held["plan"] == 0
+
+    def test_single_flight_computes_once(self):
+        cache = PlanCache(4)
+        calls = []
+        gate = threading.Event()
+
+        def compute():
+            calls.append(1)
+            gate.wait(5.0)
+            return "plan"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    cache.get_or_compute("k", "t", compute)
+                )
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        gate.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(calls) == 1
+        assert [payload for payload, _ in results] == ["plan"] * 4
+
+    def test_failed_leader_promotes_a_waiter(self):
+        cache = PlanCache(4)
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute(
+                "k", "t", lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+            )
+        # the key is not poisoned: the next caller computes fresh
+        payload, hit = cache.get_or_compute("k", "t", lambda: "recovered")
+        assert (payload, hit) == ("recovered", False)
+
+
+# ----------------------------------------------------------------------
+# Service basics
+# ----------------------------------------------------------------------
+class TestServeBasics:
+    def test_serve_matches_baseline(self, graph, cost_models):
+        feats = feats_for(graph)
+        with make_service(cost_models) as svc:
+            result = svc.serve(req(graph, feats), timeout=60)
+        assert result.ok and result.outcome == "ok"
+        np.testing.assert_allclose(
+            result.value, reference_for(graph, feats), rtol=1e-4, atol=1e-6
+        )
+
+    def test_repeat_graph_hits_cache(self, graph, cost_models):
+        feats = feats_for(graph)
+        with make_service(cost_models) as svc:
+            first = svc.serve(req(graph, feats), timeout=60)
+            second = svc.serve(req(graph, feats), timeout=60)
+            stats = svc.cache.stats()
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_unknown_model_rejected(self, graph, cost_models):
+        with make_service(cost_models) as svc:
+            with pytest.raises(GraniiInputError, match="unknown model"):
+                svc.submit(ServeRequest(
+                    tenant="t", model="resnet", graph=graph,
+                    feats=feats_for(graph),
+                ))
+
+    def test_malformed_inputs_rejected_at_submit(self, graph, cost_models):
+        bad = feats_for(graph)
+        bad[0, 0] = np.nan
+        with make_service(cost_models) as svc:
+            with pytest.raises(GraniiInputError, match="non-finite"):
+                svc.submit(req(graph, bad))
+            with pytest.raises(GraniiInputError, match="width"):
+                svc.submit(req(graph, feats_for(graph)[:, :4].copy()))
+            with pytest.raises(GraniiInputError, match="deadline"):
+                svc.submit(req(graph, feats_for(graph), deadline_seconds=0))
+            assert svc.stats()["totals"]["completed"] == 0
+
+    def test_closed_service_sheds(self, graph, cost_models):
+        svc = make_service(cost_models)
+        svc.close()
+        with pytest.raises(GraniiOverloadError, match="closed"):
+            svc.submit(req(graph, feats_for(graph)))
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_overload_sheds_with_retry_hint(self, graph, cost_models):
+        feats = feats_for(graph)
+        with make_service(
+            cost_models, num_threads=1, max_queue=1,
+        ) as svc:
+            futures, sheds = [], []
+            slow = FaultPlan.from_string("*:slow:1.0:0.05", seed=0)
+            for _ in range(8):
+                try:
+                    futures.append(svc.submit(
+                        req(graph, feats, fault_plan=slow)
+                    ))
+                except GraniiOverloadError as exc:
+                    sheds.append(exc)
+            results = [f.result(timeout=60) for f in futures]
+        assert sheds, "a burst past the bound must shed"
+        assert all(s.retry_after_seconds > 0 for s in sheds)
+        assert all(s.tenant == "t" for s in sheds)
+        assert all(r.outcome != "raw_escape" for r in results)
+
+    def test_queue_bound_is_per_tenant(self, graph, cost_models):
+        feats = feats_for(graph)
+        slow = FaultPlan.from_string("*:slow:1.0:0.1", seed=0)
+        with make_service(
+            cost_models, num_threads=1, max_queue=1,
+        ) as svc:
+            futures = [svc.submit(req(graph, feats, fault_plan=slow))]
+            # tenant "t" is saturated; a second submit for it sheds ...
+            with pytest.raises(GraniiOverloadError):
+                svc.submit(req(graph, feats, fault_plan=slow))
+            # ... but tenant "u" still has its own empty queue
+            futures.append(svc.submit(
+                req(graph, feats, tenant="u", fault_plan=slow)
+            ))
+            done, not_done = wait(futures, timeout=60)
+        assert not not_done
+
+
+# ----------------------------------------------------------------------
+# Collision and eviction under serving load
+# ----------------------------------------------------------------------
+class TestCacheSafety:
+    def test_key_collision_never_serves_wrong_plan(
+        self, graph, other_graph, cost_models
+    ):
+        def collide(g, model_name, in_size, out_size):
+            fp = fingerprint_graph(g, model_name, in_size, out_size)
+            return GraphFingerprint(key="same-key", token=fp.token)
+
+        feats, other_feats = feats_for(graph), feats_for(other_graph)
+        with make_service(cost_models, fingerprint_fn=collide) as svc:
+            first = svc.serve(req(graph, feats), timeout=60)
+            second = svc.serve(req(other_graph, other_feats), timeout=60)
+            stats = svc.cache.stats()
+        assert first.ok and second.ok
+        assert not second.cache_hit
+        assert stats["collisions"] >= 1
+        np.testing.assert_allclose(
+            second.value, reference_for(other_graph, other_feats),
+            rtol=1e-4, atol=1e-6,
+        )
+
+    def test_eviction_under_load_stays_correct(
+        self, graph, other_graph, cost_models
+    ):
+        feats, other_feats = feats_for(graph), feats_for(other_graph)
+        with make_service(cost_models, plan_cache_size=1) as svc:
+            for _ in range(2):  # alternate so every request evicts
+                a = svc.serve(req(graph, feats), timeout=60)
+                b = svc.serve(req(other_graph, other_feats), timeout=60)
+                assert a.ok and b.ok
+                np.testing.assert_allclose(
+                    a.value, reference_for(graph, feats),
+                    rtol=1e-4, atol=1e-6,
+                )
+                np.testing.assert_allclose(
+                    b.value, reference_for(other_graph, other_feats),
+                    rtol=1e-4, atol=1e-6,
+                )
+            assert svc.cache.stats()["evictions"] >= 2
+            assert len(svc.cache) == 1
+
+
+# ----------------------------------------------------------------------
+# Isolation, breakers, deadlines
+# ----------------------------------------------------------------------
+class TestIsolation:
+    def test_poison_tenant_demotes_clean_tenant_unaffected(
+        self, graph, cost_models
+    ):
+        feats = feats_for(graph)
+        reference = reference_for(graph, feats)
+        with make_service(
+            cost_models, tenant_breaker_threshold=2,
+            tenant_breaker_cooldown=300.0,
+        ) as svc:
+            poison = [
+                svc.serve(req(
+                    graph, feats, tenant="poison",
+                    fault_plan=FaultPlan.from_string("*:raise:1.0", seed=i),
+                ), timeout=60)
+                for i in range(4)
+            ]
+            clean = svc.serve(req(graph, feats, tenant="clean"), timeout=60)
+            stats = svc.stats()
+        # the poisoned tenant demoted through its ladder, then the
+        # tenant breaker sent it straight to the reference path
+        assert all(r.ok for r in poison)
+        assert any(r.demotions for r in poison)
+        assert any(r.outcome == "reference" for r in poison)
+        for r in poison:
+            np.testing.assert_allclose(
+                r.value, reference, rtol=1e-4, atol=1e-6
+            )
+        assert stats["tenants"]["poison"]["breaker_trips"] >= 1
+        # the clean tenant never saw a demotion
+        assert clean.ok and clean.outcome == "ok" and not clean.demotions
+
+    def test_deadline_times_out_structured(self, graph, cost_models):
+        feats = feats_for(graph)
+        slow = FaultPlan.from_string("*:slow:1.0:0.2", seed=0)
+        with make_service(cost_models, retries=0) as svc:
+            result = svc.serve(req(
+                graph, feats, deadline_seconds=0.25, fault_plan=slow,
+            ), timeout=60)
+        assert not result.ok
+        assert result.outcome == "timeout"
+        assert result.error_type == "GraniiDeadlineError"
+
+
+# ----------------------------------------------------------------------
+# Sharded retry policy
+# ----------------------------------------------------------------------
+class TestRetryWrapper:
+    def test_retries_transient_then_succeeds(self):
+        attempts, state = [], {"count": 0}
+        wrapper = _sharded_retry_wrapper(3, None, attempts, state)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ShardedWorkerError("worker died")
+            return "value"
+
+        assert wrapper("spmm", flaky, "t0") == "value"
+        assert state["count"] == 2
+        assert len(attempts) == 2
+
+    def test_exhausted_retries_reraise(self):
+        wrapper = _sharded_retry_wrapper(1, None, [], {"count": 0})
+
+        def dead():
+            raise ShardedWorkerError("gone")
+
+        with pytest.raises(ShardedWorkerError):
+            wrapper("spmm", dead, "t0")
+
+    def test_deadline_cuts_backoff_short(self):
+        # a deadline in the past leaves no room to back off: first
+        # failure re-raises instead of sleeping
+        wrapper = _sharded_retry_wrapper(
+            5, time.monotonic() - 1.0, [], {"count": 0}
+        )
+        t0 = time.monotonic()
+        with pytest.raises(ShardedWorkerError):
+            wrapper(
+                "spmm",
+                lambda: (_ for _ in ()).throw(ShardedWorkerError("x")),
+                "t0",
+            )
+        assert time.monotonic() - t0 < 0.05
+
+    def test_non_sharded_errors_pass_through(self):
+        wrapper = _sharded_retry_wrapper(3, None, [], {"count": 0})
+        with pytest.raises(ValueError):
+            wrapper(
+                "spmm", lambda: (_ for _ in ()).throw(ValueError("no")), "t0"
+            )
+
+
+# ----------------------------------------------------------------------
+# Concurrency smoke
+# ----------------------------------------------------------------------
+class TestConcurrentServing:
+    def test_many_tenants_many_requests(self, graph, other_graph, cost_models):
+        feats, other_feats = feats_for(graph), feats_for(other_graph)
+        refs = {
+            graph.num_nodes: reference_for(graph, feats),
+            other_graph.num_nodes: reference_for(other_graph, other_feats),
+        }
+        with make_service(cost_models, num_threads=4, max_queue=32) as svc:
+            futures = []
+            for i in range(24):
+                g, f = (graph, feats) if i % 2 else (other_graph, other_feats)
+                futures.append(svc.submit(
+                    req(g, f, tenant=f"tenant-{i % 3}")
+                ))
+            results = [f.result(timeout=60) for f in futures]
+            stats = svc.stats()
+        assert all(r.ok for r in results)
+        for r in results:
+            np.testing.assert_allclose(
+                r.value, refs[r.value.shape[0]], rtol=1e-4, atol=1e-6
+            )
+        assert stats["cache"]["hits"] >= 20
+        assert stats["totals"]["completed"] == 24

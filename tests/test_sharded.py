@@ -292,3 +292,55 @@ class TestConfigKnobs:
     def test_worker_default_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_NUM_WORKERS", "2")
         assert default_num_workers() == 2
+
+
+class TestLeakSweep:
+    def test_sweep_reclaims_dead_owner_segments(self):
+        from multiprocessing import shared_memory
+
+        from repro.kernels.sharded import SEGMENT_PREFIX, sweep_leaked_segments
+
+        # fabricate a segment "leaked" by a crashed process: the name
+        # carries a pid that cannot be alive (> pid_max)
+        name = f"{SEGMENT_PREFIX}-99999999-deadbeefcafe"
+        shm = shared_memory.SharedMemory(create=True, size=64, name=name)
+        shm.close()
+        try:
+            reclaimed = sweep_leaked_segments()
+            assert name in reclaimed
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        finally:
+            try:
+                shared_memory.SharedMemory(name=name).unlink()
+            except FileNotFoundError:
+                pass
+
+    def test_sweep_spares_live_owner_segments(self):
+        from multiprocessing import shared_memory
+
+        from repro.kernels.sharded import SEGMENT_PREFIX, sweep_leaked_segments
+
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-feedfacebead"
+        shm = shared_memory.SharedMemory(create=True, size=64, name=name)
+        try:
+            reclaimed = sweep_leaked_segments()
+            assert name not in reclaimed
+            # still attachable: the sweep left it alone
+            probe = shared_memory.SharedMemory(name=name)
+            probe.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_sweep_ignores_foreign_names(self, tmp_path):
+        from repro.kernels.sharded import sweep_leaked_segments
+
+        (tmp_path / "psm_something").write_bytes(b"x")
+        (tmp_path / "unrelated").write_bytes(b"x")
+        assert sweep_leaked_segments(shm_dir=str(tmp_path)) == []
+
+    def test_sweep_handles_missing_dir(self):
+        from repro.kernels.sharded import sweep_leaked_segments
+
+        assert sweep_leaked_segments(shm_dir="/nonexistent-shm-dir") == []
