@@ -1,0 +1,198 @@
+"""Benchmark of the compiled fused kernel against step-by-step execution.
+
+Runs the GCN aggregation tail -- ``relu(D' . (A . (D' . X)))`` -- three
+ways on three graph scales and writes machine-readable wall-clock results
+to ``BENCH_fused.json`` at the repository root (plus a copy under
+``benchmarks/output/``).  Not a pytest benchmark -- invoke directly::
+
+    PYTHONPATH=src python benchmarks/bench_fused.py [--quick]
+
+``stepwise_blocked`` materialises every intermediate exactly as the plan
+interpreter does under the ``blocked`` strategy (pre-scale broadcast,
+tiled SpMM, output scale, ReLU -- four full passes over dense arrays);
+``fused`` streams the whole chain through one pass over the CSR tiles via
+:func:`repro.kernels.compiled.gspmm_fused`.  Both use a warm
+:class:`WorkspaceArena`, i.e. steady-state plan execution.  Outputs must
+be *bitwise* equal -- the benchmark asserts ``np.array_equal``, not
+allclose.
+
+The report also records one autotuner pass
+(:func:`repro.core.autotune.autotune_spmm`) per scale: the measured
+``(strategy, block_nnz)`` grid and the chosen point, i.e. what
+``REPRO_AUTOTUNE=1`` would feed back into the cost models on this host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.autotune import autotune_spmm  # noqa: E402
+from repro.graphs import erdos_renyi, rmat  # noqa: E402
+from repro.hardware.timer import time_fn  # noqa: E402
+from repro.kernels import WorkspaceArena, get_semiring, gspmm  # noqa: E402
+from repro.kernels.compiled import gspmm_fused  # noqa: E402
+
+OUTPUT_PATH = Path(__file__).resolve().parent / "output" / "BENCH_fused.json"
+# CI artifact collectors and the acceptance harness look for BENCH_*.json at
+# the repository root; keep the benchmarks/output/ copy for local history.
+ROOT_OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fused.json"
+
+SCALES = {
+    "small": dict(kind="er", n=2_000, avg_degree=8, k=32),
+    "medium": dict(kind="rmat", n=50_000, avg_degree=16, k=64),
+    "large": dict(kind="rmat", n=200_000, avg_degree=16, k=64),
+}
+
+QUICK_SCALES = {
+    "small": dict(kind="er", n=1_000, avg_degree=8, k=16),
+    "medium": dict(kind="rmat", n=10_000, avg_degree=12, k=32),
+    "large": dict(kind="rmat", n=50_000, avg_degree=16, k=32),
+}
+
+
+def build_graph(kind: str, n: int, avg_degree: float):
+    if kind == "er":
+        return erdos_renyi(n, avg_degree, seed=7)
+    return rmat(n, avg_degree, seed=7)
+
+
+def bench_scale(name: str, spec: dict, repeats: int) -> dict:
+    graph = build_graph(spec["kind"], spec["n"], spec["avg_degree"])
+    adj = graph.adj_with_self_loops()
+    k = spec["k"]
+    x = np.random.default_rng(1).standard_normal((adj.shape[1], k))
+    # symmetric-normalisation diagonal, the GCN plans' D' leaf
+    d = 1.0 / np.sqrt(np.maximum(adj.row_degrees(), 1).astype(np.float64))
+    semiring = get_semiring("sum", "mul")
+    step_arena = WorkspaceArena()
+    fused_arena = WorkspaceArena()
+
+    def stepwise_blocked():
+        # the interpreter's schedule: every intermediate materialised
+        scaled = d[:, None] * x                        # row_broadcast
+        agg = gspmm(adj, scaled, semiring,             # spmm (tiled)
+                    strategy="blocked", workspace=step_arena)
+        out = d[:, None] * agg                         # row_broadcast
+        return np.maximum(out, 0.0)                    # elementwise relu
+
+    def stepwise_row_segment():
+        scaled = d[:, None] * x
+        agg = gspmm(adj, scaled, semiring, strategy="row_segment")
+        out = d[:, None] * agg
+        return np.maximum(out, 0.0)
+
+    def fused():
+        # the compiled schedule: one streaming pass over the CSR tiles
+        return gspmm_fused(
+            adj, x, semiring,
+            workspace=fused_arena,
+            pre_scale=d,
+            epilogues=(("scale", d), ("nonlinear", "relu")),
+        )
+
+    variants = {
+        "stepwise_row_segment": stepwise_row_segment,
+        "stepwise_blocked": stepwise_blocked,
+        "fused": fused,
+    }
+    seconds = {}
+    reference = None
+    for label, thunk in variants.items():
+        elapsed, result = time_fn(thunk, repeats=repeats, warmup=1)
+        seconds[label] = elapsed
+        if reference is None:
+            reference = result
+        elif not np.array_equal(result, reference):
+            raise AssertionError(
+                f"{label} is not bitwise equal to stepwise_row_segment "
+                f"on {name}"
+            )
+
+    tuned = autotune_spmm(adj, k, warmup=1, repeats=repeats)
+    return {
+        "graph": {
+            "kind": spec["kind"],
+            "nodes": graph.num_nodes,
+            "edges": int(adj.nnz),
+            "k": k,
+        },
+        "seconds": seconds,
+        "speedup_fused_vs_blocked": (
+            seconds["stepwise_blocked"] / seconds["fused"]
+        ),
+        "speedup_fused_vs_row_segment": (
+            seconds["stepwise_row_segment"] / seconds["fused"]
+        ),
+        "bitwise_equal": True,  # asserted above
+        "workspace_bytes": fused_arena.nbytes,
+        "autotune": {
+            "chosen": {
+                "strategy": tuned.strategy,
+                "block_nnz": tuned.block_nnz,
+            },
+            "points": [
+                {
+                    "strategy": p.strategy,
+                    "block_nnz": p.block_nnz,
+                    "seconds": p.seconds,
+                }
+                for p in tuned.points
+            ],
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller graphs, fewer repeats"
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args()
+    scales = QUICK_SCALES if args.quick else SCALES
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    results = {
+        "config": {
+            "quick": args.quick,
+            "repeats": repeats,
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+        },
+        "scales": {},
+    }
+    for name, spec in scales.items():
+        print(f"[bench_fused] {name}: {spec} ...", flush=True)
+        row = bench_scale(name, spec, repeats)
+        results["scales"][name] = row
+        times = ", ".join(
+            f"{label}={secs * 1e3:.2f}ms" for label, secs in row["seconds"].items()
+        )
+        tuned = row["autotune"]["chosen"]
+        print(
+            f"[bench_fused]   {times} "
+            f"(fused speedup {row['speedup_fused_vs_blocked']:.2f}x vs "
+            f"blocked; autotune chose {tuned['strategy']}"
+            + (f"/{tuned['block_nnz']}" if tuned["block_nnz"] else "")
+            + ")",
+            flush=True,
+        )
+
+    OUTPUT_PATH.parent.mkdir(exist_ok=True)
+    payload = json.dumps(results, indent=2) + "\n"
+    OUTPUT_PATH.write_text(payload)
+    ROOT_OUTPUT_PATH.write_text(payload)
+    print(f"[bench_fused] wrote {OUTPUT_PATH} and {ROOT_OUTPUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

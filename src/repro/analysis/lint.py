@@ -20,6 +20,12 @@ offending line or the line above; waivers are counted, not silent):
   to a captured array whose index is not provably derived from the
   closure's own work item (parameters/locals); such writes are not
   provably disjoint across workers.
+- ``alloc-in-compiled`` — any NumPy allocator (``empty``/``zeros``/
+  ``ones``/``full`` and their ``_like`` variants) inside
+  ``repro/kernels/compiled.py``: compiled callables run on the guard's
+  hot path and must draw every scratch buffer from the
+  :class:`WorkspaceArena` so demotion-time ``drop_buffers()`` can
+  release them (the fused result buffer carries an explicit waiver).
 
 CLI::
 
@@ -47,7 +53,14 @@ RULES = (
     "raw-alloc-in-kernels",
     "granii-except",
     "shared-write-in-parallel",
+    "alloc-in-compiled",
 )
+
+# the full NumPy allocator surface the compiled-kernel rule forbids
+_COMPILED_ALLOCATORS = {
+    "empty", "zeros", "ones", "full",
+    "empty_like", "zeros_like", "ones_like", "full_like",
+}
 
 _ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([a-z\-,\s]+)\)")
 
@@ -117,6 +130,7 @@ class _FileLinter(ast.NodeVisitor):
             and not self.path.endswith("workspace.py")
         )
         self.in_config = self.path.endswith("repro/config.py")
+        self.in_compiled = self.path.endswith("repro/kernels/compiled.py")
         self.in_guard_path = any(h in self.path for h in _GUARD_PATH_HINTS)
         self._functions: Dict[str, ast.FunctionDef] = {
             n.name: n
@@ -152,6 +166,15 @@ class _FileLinter(ast.NodeVisitor):
                 self._emit(
                     "raw-alloc-in-kernels", node,
                     f"{name} in repro/kernels/ bypasses WorkspaceArena",
+                )
+        if self.in_compiled:
+            name = _is_np_call(node, _COMPILED_ALLOCATORS)
+            if name:
+                self._emit(
+                    "alloc-in-compiled", node,
+                    f"{name} in the compiled kernel — scratch must come "
+                    f"from the WorkspaceArena so guard demotion can "
+                    f"release it",
                 )
         if (
             self.in_kernels

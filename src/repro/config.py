@@ -36,6 +36,10 @@ Knob reference
 ``REPRO_SERVE_DEADLINE_MS``   default end-to-end request deadline (0 = none)
 ``REPRO_SERVE_RETRIES``       bounded retries around sharded-pool execution
 ``REPRO_PLAN_CACHE_SIZE``     fingerprint-keyed plan cache capacity
+``REPRO_AUTOTUNE``            measure strategy/block_nnz points at selection
+``REPRO_AUTOTUNE_GRID``       comma-separated candidate block_nnz values
+``REPRO_AUTOTUNE_WARMUP``     discarded warm-up runs per measured point
+``REPRO_AUTOTUNE_REPEATS``    timed repeats per measured point (best kept)
 """
 
 from __future__ import annotations
@@ -71,6 +75,10 @@ __all__ = [
     "serve_deadline_seconds",
     "serve_retries",
     "plan_cache_size",
+    "autotune_enabled",
+    "autotune_grid",
+    "autotune_warmup",
+    "autotune_repeats",
     "override_env",
 ]
 
@@ -274,6 +282,55 @@ def serve_retries() -> int:
 def plan_cache_size() -> int:
     """``REPRO_PLAN_CACHE_SIZE``: capacity of the fingerprint plan cache."""
     return env_int("REPRO_PLAN_CACHE_SIZE", 128, minimum=1)
+
+
+def autotune_enabled() -> bool:
+    """``REPRO_AUTOTUNE``: measure strategy/block_nnz candidates on the
+    actual input at selection time and feed residuals back into the cost
+    models."""
+    return env_flag("REPRO_AUTOTUNE", False)
+
+
+def autotune_grid() -> Optional[Sequence[int]]:
+    """``REPRO_AUTOTUNE_GRID``: candidate ``block_nnz`` values, or None.
+
+    A comma-separated list of positive integers, e.g. ``8192,32768,131072``.
+    Unset means the autotuner's built-in grid around the default tile size.
+    """
+    raw = _raw("REPRO_AUTOTUNE_GRID")
+    if raw is None:
+        return None
+    values = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            value = int(part)
+        except ValueError:
+            raise GraniiConfigError(
+                f"REPRO_AUTOTUNE_GRID={raw!r} contains non-integer {part!r}"
+            ) from None
+        if value < 1:
+            raise GraniiConfigError(
+                f"REPRO_AUTOTUNE_GRID={raw!r} contains non-positive {value}"
+            )
+        values.append(value)
+    if not values:
+        raise GraniiConfigError(
+            f"REPRO_AUTOTUNE_GRID={raw!r} names no block sizes"
+        )
+    return values
+
+
+def autotune_warmup() -> int:
+    """``REPRO_AUTOTUNE_WARMUP``: discarded warm-up runs per point."""
+    return env_int("REPRO_AUTOTUNE_WARMUP", 1, minimum=0)
+
+
+def autotune_repeats() -> int:
+    """``REPRO_AUTOTUNE_REPEATS``: timed repeats per point (best kept)."""
+    return env_int("REPRO_AUTOTUNE_REPEATS", 3, minimum=1)
 
 
 def override_env(overrides):

@@ -21,13 +21,98 @@ from .profiler import ProfileDataset, collect_profile
 
 __all__ = [
     "CostModelSet",
+    "STRATEGY_PRICING_PRIMITIVES",
     "clear_cost_model_cache",
+    "clear_runtime_residuals",
+    "cost_model_token",
     "estimate_transient_bytes",
     "get_cost_models",
     "load_cost_models",
+    "record_runtime_residual",
+    "residual_factor",
     "save_cost_models",
     "train_cost_models",
 ]
+
+# ----------------------------------------------------------------------
+# Runtime residuals (autotuner feedback)
+# ----------------------------------------------------------------------
+# The autotuner measures kernels on the *actual* input and records the
+# measured/predicted ratio here; predictions are multiplied by the
+# current EWMA factor so future selections price what this machine
+# actually runs, in the spirit of the execution-time predictor line of
+# work the roadmap cites.  Keys are (device, primitive).
+_RUNTIME_RESIDUALS: Dict[Tuple[str, str], float] = {}
+_RESIDUAL_ALPHA = 0.5
+
+# Primitives whose residuals change strategy selection — the scope of
+# the cache-invalidation token.  Residuals on anything else (gemm, ...)
+# cannot flip an aggregation-strategy choice, so they must NOT churn
+# serving-cache fingerprints.
+STRATEGY_PRICING_PRIMITIVES = (
+    "spmm",
+    "spmm_unweighted",
+    "spmm_blocked",
+    "spmm_parallel",
+    "spmm_sharded",
+    "spmm_fused",
+)
+
+
+def record_runtime_residual(
+    device_name: str,
+    primitive: str,
+    measured_seconds: float,
+    predicted_seconds: float,
+) -> float:
+    """Fold one measured/predicted ratio into the EWMA residual store.
+
+    Returns the updated multiplicative factor for (device, primitive).
+    Non-positive inputs are ignored (timer underflow, missing model).
+    """
+    key = (device_name.lower(), primitive)
+    if measured_seconds <= 0.0 or predicted_seconds <= 0.0:
+        return _RUNTIME_RESIDUALS.get(key, 1.0)
+    ratio = measured_seconds / predicted_seconds
+    prev = _RUNTIME_RESIDUALS.get(key)
+    value = ratio if prev is None else (
+        (1.0 - _RESIDUAL_ALPHA) * prev + _RESIDUAL_ALPHA * ratio
+    )
+    _RUNTIME_RESIDUALS[key] = value
+    return value
+
+
+def residual_factor(device_name: str, primitive: str) -> float:
+    """Current multiplicative correction for (device, primitive); 1.0 if none."""
+    return _RUNTIME_RESIDUALS.get((device_name.lower(), primitive), 1.0)
+
+
+def clear_runtime_residuals() -> None:
+    _RUNTIME_RESIDUALS.clear()
+
+
+def cost_model_token(
+    device_name: str,
+    primitives: Sequence[str] = STRATEGY_PRICING_PRIMITIVES,
+) -> str:
+    """Version token of the strategy-pricing residual state.
+
+    Folded into serving-cache fingerprints so entries selected under a
+    stale cost model are recomputed after an autotune refinement —
+    without invalidating keys the refinement cannot affect.  A pristine
+    store (all factors 1.0) yields the empty token, so fingerprints are
+    byte-identical to the pre-autotuner era until a residual is
+    actually recorded.
+    """
+    import hashlib
+
+    entries = [
+        (p, round(_RUNTIME_RESIDUALS.get((device_name.lower(), p), 1.0), 6))
+        for p in sorted(primitives)
+    ]
+    if all(r == 1.0 for _, r in entries):
+        return ""
+    return hashlib.sha1(repr(entries).encode()).hexdigest()[:12]
 
 
 def estimate_transient_bytes(calls: Iterable[KernelCall]) -> float:
@@ -75,11 +160,14 @@ class CostModelSet:
         )
         cached = self._memo.get(key)
         if cached is not None:
-            return cached
+            return cached * residual_factor(self.device_name, call.primitive)
         feats = call_features(call, graph_vec)
         result = float(np.exp(model.predict_one(feats)))
+        # memoise the *base* prediction; the runtime-residual factor is
+        # applied on the way out so autotune refinements take effect
+        # without a cache flush
         self._memo[key] = result
-        return result
+        return result * residual_factor(self.device_name, call.primitive)
 
     def predict_calls(
         self, calls: Iterable[KernelCall], graph_vec: np.ndarray, efficiency=None

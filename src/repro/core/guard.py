@@ -458,6 +458,10 @@ class GuardedExecutor:
             # worker death / IPC timeout demotes to the in-process tiled
             # kernel before falling all the way back to row_segment
             self.rungs.append((chosen, "blocked"))
+        if primary == "spmm_fused":
+            # a compiled-plan failure demotes to the step-by-step tiled
+            # interpreter first — same workspace, no fusion
+            self.rungs.append((chosen, "blocked"))
         if primary != "row_segment":
             self.rungs.append((chosen, "row_segment"))
         for planned in getattr(selection, "ranked", []):
@@ -512,8 +516,9 @@ class GuardedExecutor:
         if exc is not None and reason in ("kernel_error", "deadline", "memory"):
             primitive = record.primitive or "plan"
             self.engine.breakers.record_failure(primitive, strategy)
-            if primitive == "spmm_unweighted":
-                # strategy-level accounting shared by both spmm flavours
+            if primitive in ("spmm_unweighted", "spmm_fused"):
+                # strategy-level accounting shared by the spmm flavours
+                # (the ladder's breaker gate keys on ("spmm", strategy))
                 self.engine.breakers.record_failure("spmm", strategy)
         self.selection.record_demotion(
             record, breaker_state=self.engine.breakers.snapshot()
@@ -551,6 +556,17 @@ class GuardedExecutor:
         planned, strategy = self.rungs[self.rung]
         plan = planned.plan
         mode = "tensor" if isinstance(feat, Tensor) else "numpy"
+        # the compiled fused schedule bypasses the autograd tape, so only
+        # inference may take the one-pass numpy path; a training-mode
+        # engine keeps tensor mode (the bare fused kernel still runs
+        # inside the taped spmm op, bitwise-identical forward)
+        fused_inference = (
+            strategy == "spmm_fused"
+            and mode == "tensor"
+            and self.engine.mode == "inference"
+        )
+        if fused_inference:
+            mode = "numpy"
         env = self._env_for(g)
         budget = ExecutionBudget.for_plan(self._predicted_seconds(planned))
         deadline_at = getattr(self.selection, "deadline_at", None)
@@ -614,6 +630,8 @@ class GuardedExecutor:
                 arena.drop_buffers()
             raise
         self.engine.breakers.record_success("spmm", strategy)
+        if fused_inference:
+            out = Tensor(np.asarray(out))  # callers expect the feat's kind
         return out
 
     def __call__(self, g, feat, *args, **kwargs):

@@ -30,6 +30,7 @@ PROFILED_PRIMITIVES = (
     "spmm_blocked",
     "spmm_parallel",
     "spmm_sharded",
+    "spmm_fused",
     "sddmm",
     "sddmm_diag",
     "gsddmm_attn",
@@ -89,6 +90,8 @@ def _representative_calls(
         KernelCall("spmm_parallel", {"m": n, "nnz": nnz, "k": k2}),
         KernelCall("spmm_sharded", {"m": n, "nnz": nnz, "k": k1}),
         KernelCall("spmm_sharded", {"m": n, "nnz": nnz, "k": k2}),
+        KernelCall("spmm_fused", {"m": n, "nnz": nnz, "k": k1}),
+        KernelCall("spmm_fused", {"m": n, "nnz": nnz, "k": k2}),
         KernelCall("sddmm", {"m": n, "nnz": nnz, "k": k1}),
         KernelCall("sddmm_diag", {"m": n, "nnz": nnz}),
         KernelCall("gsddmm_attn", {"m": n, "nnz": nnz}),

@@ -49,6 +49,7 @@ _SPMM_STRATEGY_PRIMITIVES = {
     "blocked": "spmm_blocked",
     "blocked_parallel": "spmm_parallel",
     "spmm_sharded": "spmm_sharded",
+    "spmm_fused": "spmm_fused",
 }
 
 
@@ -343,9 +344,32 @@ class GraniiEngine:
         excluded from auto selection; they rejoin the pool automatically
         once the cooldown elapses.  ``row_segment`` — the reference
         strategy — is never excluded.
+
+        A *pinned* strategy (``spmm_strategy != 'auto'``, typically via
+        ``REPRO_SPMM_STRATEGY``) is routed through the same static
+        legality gate the pruner applies to auto selections: if
+        ``analyze_plan`` rejects this plan under the pinned strategy
+        (alias hazards, unbalanced workspace lifetimes), the executor
+        falls back to ``row_segment`` with a warning instead of running
+        an unvetted composition.
         """
         if self.spmm_strategy != "auto":
-            return self.spmm_strategy, {}
+            pinned = self.spmm_strategy
+            if pinned != "row_segment":
+                from ..analysis.planlint import analyze_plan
+
+                verdict = analyze_plan(plan, strategies=(pinned,))
+                if not verdict.ok:
+                    rules = sorted({d.rule for d in verdict.errors})
+                    warnings.warn(
+                        f"pinned spmm strategy {pinned!r} rejected by plan "
+                        f"analysis ({', '.join(rules)}); falling back to "
+                        f"row_segment",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    return "row_segment", {}
+            return pinned, {}
         if self._cost_models is None:
             return "row_segment", {}
         setup, per_iter = plan.kernel_calls(env, self.system.degree_method)
@@ -427,12 +451,29 @@ class GraniiEngine:
         spmm_strategy, strategy_costs = self.select_spmm_strategy(
             chosen.plan, env, graph_vec
         )
+        if config.autotune_enabled():
+            from .autotune import autotune_selection
+
+            tuned = autotune_selection(self, chosen.plan, graph, layer)
+            if tuned is not None:
+                spmm_strategy = tuned.strategy
+                if tuned.block_nnz is not None:
+                    self.block_nnz = tuned.block_nnz
+                strategy_costs = dict(strategy_costs)
+                for strat, seconds in tuned.best_per_strategy.items():
+                    strategy_costs[f"measured:{strat}"] = seconds
         selection_seconds = time.perf_counter() - t1
         # static verdict for the winner: proved facts let the guarded
-        # executor skip re-deriving them on the hot path (see guard.py)
+        # executor skip re-deriving them on the hot path (see guard.py);
+        # the workspace-lifetime trace covers the strategy that will run
+        analysis_strategies = ("blocked",)
+        if spmm_strategy not in analysis_strategies:
+            analysis_strategies = analysis_strategies + (spmm_strategy,)
         from ..analysis.planlint import analyze_plan
 
-        verdict = analyze_plan(chosen.plan, env=env)
+        verdict = analyze_plan(
+            chosen.plan, env=env, strategies=analysis_strategies
+        )
         return SelectionReport(
             model_name=compiled.model_name,
             chosen=chosen,
@@ -510,6 +551,15 @@ class GraniiEngine:
             if verify_state["fallback"]:
                 return _reference_forward(layer, g, feat)
             mode = "tensor" if isinstance(feat, Tensor) else "numpy"
+            # fused schedules bypass the autograd tape: only inference
+            # may drop to the one-pass numpy path (see GuardedExecutor)
+            fused_inference = (
+                spmm_strategy == "spmm_fused"
+                and mode == "tensor"
+                and self.mode == "inference"
+            )
+            if fused_inference:
+                mode = "numpy"
             binding = build_binding(layer, g, feat, mode, degree_method)
             cache = setup_caches.setdefault((id(g), mode), {})
             out = plan.execute(
@@ -518,6 +568,8 @@ class GraniiEngine:
                 setup_cache=cache,
                 kernel_config=kernel_config,
             )
+            if fused_inference:
+                out = Tensor(np.asarray(out))
             if verify_state["pending"]:
                 verify_state["pending"] = False
                 ok, note = self._verify_against_reference(

@@ -780,7 +780,10 @@ def sweep(
         if verdict is None:
             verdict = analyze_plan(
                 planned.plan,
-                strategies=("blocked", "blocked_parallel", "spmm_sharded"),
+                strategies=(
+                    "blocked", "blocked_parallel", "spmm_sharded",
+                    "spmm_fused",
+                ),
             )
             gate_cache[key] = verdict
             if not verdict.ok:

@@ -70,6 +70,11 @@ def bytes_moved(call: KernelCall) -> float:
         # streaming traffic (values + indices + gathered rows + output)
         # hits memory — no O(E·K) intermediate round-trip
         return _F64 * (2 * s["nnz"] + s["nnz"] * s["k"] + s["m"] * s["k"])
+    if name == "spmm_fused":
+        # same streaming traffic as the tiled kernels; the absorbed
+        # pre-scale/epilogue work rides on the already-resident tile and
+        # output span, adding no extra round-trips
+        return _F64 * (2 * s["nnz"] + s["nnz"] * s["k"] + s["m"] * s["k"])
     if name == "spmm_sharded":
         # the same streaming form as the tiled kernels, plus one upload
         # of the dense operand into the shared segment and one copy-out
@@ -192,7 +197,7 @@ class Device:
         )
 
     _TILED_PRIMITIVES = frozenset(
-        {"spmm_blocked", "spmm_parallel", "spmm_sharded"}
+        {"spmm_blocked", "spmm_parallel", "spmm_sharded", "spmm_fused"}
     )
 
     def _skew(self, call: KernelCall, stats: GraphStats) -> float:
@@ -242,6 +247,11 @@ class Device:
             overhead *= 6.0
         elif call.primitive == "spmm_blocked":
             overhead *= 2.0
+        elif call.primitive == "spmm_fused":
+            # one compiled launch absorbs the whole segment: the step-by-
+            # step dispatches it replaces are the overhead it saves
+            overhead *= 1.5
+            base *= 0.9  # fused epilogues skip intermediate materialisation
         elif call.primitive == "spmm_sharded":
             base /= max(self.profile.process_speedup, 1.0)
             overhead = overhead * 8.0 + self.profile.shard_latency

@@ -31,9 +31,10 @@ Determinism
 Both tiled strategies are **bitwise deterministic**, and bitwise equal to
 ``row_segment``, for any block size and thread count.  The invariant that
 guarantees this: spans are contiguous row ranges, so every output row's
-reduction happens entirely inside exactly one span, and within a span
-``ufunc.reduceat`` accumulates each row's messages sequentially in CSR
-edge order — the same association order the naive kernel uses.  Threads
+reduction happens entirely inside exactly one span, and
+:func:`~repro.kernels.segment.segment_reduce` makes each row's result a
+pure function of that row's messages in CSR edge order — the same
+association the naive kernel uses.  Threads
 never split a row's sum: workers own disjoint row ranges, write disjoint
 output slices, and draw scratch from per-thread arenas
 (:func:`~repro.kernels.workspace.thread_local_arena`), so neither the

@@ -91,6 +91,12 @@ PRIMITIVES: Dict[str, Primitive] = {
         "process-parallel row-sharded sparse·dense multiplication over "
         "shared-memory buffers, per-shard inner plans",
     ),
+    "spmm_fused": Primitive(
+        "spmm_fused", "sparse",
+        _f(lambda s: 2.0 * s["nnz"] * s["k"]),
+        "compiled-plan streaming aggregation: row-block tiled SpMM with "
+        "pre-scale and epilogues absorbed into the single pass",
+    ),
     "sddmm": Primitive(
         "sddmm", "sparse",
         _f(lambda s: 2.0 * s["nnz"] * s["k"]),
@@ -181,6 +187,9 @@ _TRANSIENT_BYTES: Dict[str, Callable[[Mapping[str, float]], float]] = {
     "spmm_sharded": lambda s: (
         24.0 * s["nnz"] + 16.0 * s["m"] * s.get("k", 1) + 8.0 * s["m"]
     ),
+    # fused: at most two bounded workspace tiles (message + gather
+    # staging), never an O(E·K) message array
+    "spmm_fused": lambda s: 16.0 * min(s["nnz"], 32768.0) * s.get("k", 1),
     "sddmm": lambda s: 8.0 * s["nnz"] * s.get("k", 1),
     "gsddmm_attn": lambda s: 16.0 * s["nnz"],
     "edge_softmax": lambda s: 16.0 * s["nnz"],

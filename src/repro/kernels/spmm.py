@@ -12,8 +12,9 @@ g-SpMM over the adjacency aggregates neighbor embeddings (paper §II-C).
 Five execution strategies are provided:
 
 ``row_segment``
-    Gathers messages in edge order and reduces them per-row with
-    ``ufunc.reduceat`` — the CSR-natural strategy, fast when rows are long.
+    Gathers messages in edge order and reduces them per-row through
+    :func:`~repro.kernels.segment.segment_reduce` — the CSR-natural
+    strategy, fast when rows are long.
 ``gather_scatter``
     Scatters messages with ``ufunc.at`` — an atomics-like strategy whose
     cost profile mirrors GPU scatter kernels.
@@ -28,6 +29,12 @@ Five execution strategies are provided:
     Row shards executed by a persistent pool of worker *processes* over
     shared-memory buffers (:mod:`repro.kernels.sharded`), each shard
     with its own inner plan; controlled by ``REPRO_NUM_WORKERS``.
+``spmm_fused``
+    The compiled-plan streaming kernel (:mod:`repro.kernels.compiled`):
+    the same row-block tiling as ``blocked``, but able to absorb a
+    pre-aggregation row scale and post-aggregation epilogues into the
+    single pass.  As a bare strategy (no plan context) it runs the
+    aggregation alone, bitwise equal to ``blocked``/``row_segment``.
 
 All produce identical results; the hardware model prices them differently,
 which is what lets the engine pick a strategy per input.
@@ -61,6 +68,7 @@ SPMM_STRATEGIES = (
     "blocked",
     "blocked_parallel",
     "spmm_sharded",
+    "spmm_fused",
 )
 
 # Innermost spmm_strategy_override() wins over REPRO_SPMM_STRATEGY.
@@ -195,6 +203,12 @@ def gspmm(
 
         return gspmm_sharded(
             adj, x, semiring, num_workers=num_workers, block_nnz=block_nnz
+        )
+    if strategy == "spmm_fused":
+        from .compiled import gspmm_fused
+
+        return gspmm_fused(
+            adj, x, semiring, block_nnz=block_nnz, workspace=workspace
         )
     if semiring.binary.uses_rhs and x.shape[0] != adj.shape[1]:
         raise ValueError(

@@ -44,17 +44,26 @@ class GraphFingerprint:
 
 
 def fingerprint_graph(
-    graph, model_name: str, in_size: int, out_size: int
+    graph, model_name: str, in_size: int, out_size: int, cost_token: str = ""
 ) -> GraphFingerprint:
     """Fingerprint one (graph, model, sizes) serving request.
 
     O(N+E): one featurizer pass plus one digest over the CSR arrays —
     orders of magnitude cheaper than the enumeration + selection + static
     analysis a cache hit skips.
+
+    ``cost_token`` versions the *selector*, not the graph: the serving
+    runtime passes :func:`repro.core.costmodel.cost_model_token` so plans
+    chosen under a cost model the autotuner has since refined are
+    recomputed instead of served stale.  A pristine model yields the
+    empty token, leaving fingerprints byte-identical to the untuned era.
     """
     adj = graph.adj
     weighted = bool(adj.is_weighted)
-    scope = f"|{model_name}|{int(in_size)}|{int(out_size)}|{int(weighted)}"
+    scope = (
+        f"|{model_name}|{int(in_size)}|{int(out_size)}|{int(weighted)}"
+        + (f"|cm:{cost_token}" if cost_token else "")
+    )
 
     key_digest = hashlib.sha1()
     vec = np.ascontiguousarray(np.asarray(featurize_graph(graph), dtype=np.float64))

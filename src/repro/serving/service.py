@@ -272,7 +272,22 @@ class GraniiService:
             if plan_cache_size is not None
             else config.plan_cache_size()
         )
-        self._fingerprint_fn = fingerprint_fn or fingerprint_graph
+        if fingerprint_fn is None:
+            # default fingerprints fold in the cost-model version token:
+            # an autotune refinement that can change strategy selection
+            # advances the token, so entries selected under the stale
+            # model recompute instead of serving stale choices — while
+            # refinements outside the strategy-pricing scope leave every
+            # fingerprint (and cached entry) untouched
+            def fingerprint_fn(graph, model_name, in_size, out_size):
+                from ..core.costmodel import cost_model_token
+
+                return fingerprint_graph(
+                    graph, model_name, in_size, out_size,
+                    cost_token=cost_model_token(self._device),
+                )
+
+        self._fingerprint_fn = fingerprint_fn
         # the selection engine is shared (its outputs are immutable plan
         # templates); computes are serialized under _select_lock so the
         # engine never races itself on a multi-key miss burst

@@ -44,10 +44,11 @@ class TestDeterminism:
 class TestSpmmStrategyDeterminism:
     """The SpMM strategies are bitwise deterministic and bitwise equal.
 
-    Every row reduces inside exactly one block span, accumulated
-    sequentially in CSR edge order by ``reduceat`` — so neither thread
-    scheduling nor the block budget can reassociate a floating-point
-    sum (see the determinism note in ``repro.kernels.blocked``).  The
+    Every row reduces inside exactly one block span, and
+    ``segment_reduce`` makes each row's result a pure function of that
+    row's messages in CSR edge order — so neither thread scheduling nor
+    the block budget can reassociate a floating-point sum (see the
+    determinism note in ``repro.kernels.blocked``).  The
     plan-equivalence harness leans on this: strategy-induced drift would
     otherwise blur into plan-divergence signal.
     """

@@ -328,6 +328,7 @@ class TestEngineStrategySelection:
         assert report.spmm_strategy in SPMM_STRATEGIES
         assert set(report.strategy_costs) == {
             "row_segment", "blocked", "blocked_parallel", "spmm_sharded",
+            "spmm_fused",
         }
         assert all(c > 0 for c in report.strategy_costs.values())
         assert (
@@ -340,6 +341,7 @@ class TestEngineStrategySelection:
         out_ref = None
         for strategy in (
             "row_segment", "blocked", "blocked_parallel", "spmm_sharded",
+            "spmm_fused",
         ):
             engine = GraniiEngine(
                 device="h100", scale="small", spmm_strategy=strategy,
