@@ -21,6 +21,10 @@ Knob reference
 ``REPRO_SHARD_NNZ``           target edges per row shard (sharded strategy)
 ``REPRO_SHARDED_TIMEOUT``     seconds before a sharded call is declared hung
 ``REPRO_SHARD_CACHE_KB``      per-shard tile cache budget for plan selection
+``REPRO_SHARD_POLL_S``        result-queue poll granularity for liveness checks
+``REPRO_SHARD_HEARTBEAT_S``   seconds of worker silence before it is hung
+``REPRO_SHARD_RESPAWNS``      worker respawns per call before giving up
+``REPRO_STATE_DIR``           durable-state snapshot directory (unset = off)
 ``REPRO_SPMM_STRATEGY``       process-wide default aggregation strategy
 ``REPRO_VERIFY_PLANS``        first-iteration differential verification
 ``REPRO_SKIP_VALIDATION``     skip O(E) structural checks in CSR builders
@@ -60,6 +64,10 @@ __all__ = [
     "shard_nnz",
     "sharded_timeout_seconds",
     "shard_cache_kb",
+    "shard_poll_seconds",
+    "shard_heartbeat_seconds",
+    "shard_respawns",
+    "state_dir",
     "spmm_strategy",
     "verify_plans",
     "skip_validation",
@@ -200,6 +208,29 @@ def sharded_timeout_seconds() -> float:
 def shard_cache_kb() -> int:
     """``REPRO_SHARD_CACHE_KB``: cache budget sizing each shard's tile."""
     return env_int("REPRO_SHARD_CACHE_KB", 1024, minimum=8)
+
+
+def shard_poll_seconds() -> float:
+    """``REPRO_SHARD_POLL_S``: result-queue poll granularity (seconds) of
+    the sharded pool's liveness/heartbeat checks."""
+    return env_float("REPRO_SHARD_POLL_S", 0.2, minimum=0.01)
+
+
+def shard_heartbeat_seconds() -> float:
+    """``REPRO_SHARD_HEARTBEAT_S``: a worker holding in-flight shards that
+    shows no progress for this long is declared hung and respawned."""
+    return env_float("REPRO_SHARD_HEARTBEAT_S", 15.0, minimum=0.1)
+
+
+def shard_respawns() -> int:
+    """``REPRO_SHARD_RESPAWNS``: worker respawns one sharded call absorbs
+    before it gives up and raises; 0 restores fail-fast behaviour."""
+    return env_int("REPRO_SHARD_RESPAWNS", 6, minimum=0)
+
+
+def state_dir() -> Optional[str]:
+    """``REPRO_STATE_DIR``: durable-state snapshot directory, or None (off)."""
+    return _raw("REPRO_STATE_DIR")
 
 
 def spmm_strategy(choices: Sequence[str]) -> Optional[str]:

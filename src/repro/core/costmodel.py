@@ -26,7 +26,9 @@ __all__ = [
     "clear_runtime_residuals",
     "cost_model_token",
     "estimate_transient_bytes",
+    "export_runtime_residuals",
     "get_cost_models",
+    "import_runtime_residuals",
     "load_cost_models",
     "record_runtime_residual",
     "residual_factor",
@@ -89,6 +91,36 @@ def residual_factor(device_name: str, primitive: str) -> float:
 
 def clear_runtime_residuals() -> None:
     _RUNTIME_RESIDUALS.clear()
+
+
+def export_runtime_residuals() -> Dict[str, float]:
+    """The EWMA residual store as a JSON-friendly ``device|primitive``
+    -> factor mapping (the durable-state snapshot payload)."""
+    return {f"{dev}|{prim}": value for (dev, prim), value in _RUNTIME_RESIDUALS.items()}
+
+
+def import_runtime_residuals(data: Dict[str, float]) -> int:
+    """Restore residuals exported by :func:`export_runtime_residuals`.
+
+    Replaces the current store (warm start = resume exactly where the
+    saved process left off).  Malformed keys and non-finite factors are
+    skipped rather than poisoning selection.  Returns the count restored.
+    """
+    _RUNTIME_RESIDUALS.clear()
+    restored = 0
+    for key, value in dict(data or {}).items():
+        if not isinstance(key, str) or "|" not in key:
+            continue
+        try:
+            factor = float(value)
+        except (TypeError, ValueError):
+            continue
+        if not np.isfinite(factor) or factor <= 0.0:
+            continue
+        dev, _, prim = key.partition("|")
+        _RUNTIME_RESIDUALS[(dev, prim)] = factor
+        restored += 1
+    return restored
 
 
 def cost_model_token(
@@ -233,7 +265,11 @@ def save_cost_models(models: CostModelSet, path) -> None:
         "device": models.device_name,
         "models": {name: m.to_dict() for name, m in models._models.items()},
     }
-    Path(path).write_text(json.dumps(payload))
+    # tmp + fsync + rename: a crash mid-save leaves the previous intact
+    # file, never a truncated one that poisons the next start
+    from ..state import atomic_write_text
+
+    atomic_write_text(Path(path), json.dumps(payload))
 
 
 def load_cost_models(path) -> CostModelSet:
@@ -273,8 +309,23 @@ def get_cost_models(
 
             disk_path = Path(cache_dir) / f"costmodels_{key[0]}_{scale}.json"
             if disk_path.exists():
-                _COST_MODEL_CACHE[key] = load_cost_models(disk_path)
-                return _COST_MODEL_CACHE[key]
+                # a truncated/corrupt cache file (crash mid-write by an
+                # older version, disk fault) costs a retrain, not a crash
+                try:
+                    _COST_MODEL_CACHE[key] = load_cost_models(disk_path)
+                    return _COST_MODEL_CACHE[key]
+                except Exception as exc:
+                    import logging
+
+                    from ..state import quarantine
+
+                    logging.getLogger(__name__).warning(
+                        "cost-model cache %s unreadable (%s); quarantining "
+                        "and retraining",
+                        disk_path,
+                        exc,
+                    )
+                    quarantine(disk_path)
         _COST_MODEL_CACHE[key] = train_cost_models(
             get_device(device_name), scale=scale
         )

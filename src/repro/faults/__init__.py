@@ -35,8 +35,27 @@ Actions
     Arm a one-shot SIGKILL of a sharded-SpMM worker process
     (:func:`repro.kernels.sharded.request_worker_kill`), then run the
     kernel normally: if the dispatch executes under the ``spmm_sharded``
-    strategy, one worker dies mid-shard and the parent must detect the
-    dead pipe instead of hanging.  A no-op for in-process strategies.
+    strategy, one worker dies mid-shard and the self-healing pool must
+    respawn it and resubmit its shards to the survivors.  A no-op for
+    in-process strategies.
+``hang_worker``
+    Arm a one-shot SIGSTOP of a sharded-SpMM worker
+    (:func:`repro.kernels.sharded.request_worker_hang`): the worker
+    stays alive but silent, so only heartbeat-based hung detection
+    (``REPRO_SHARD_HEARTBEAT_S``) — not the dead-pipe check — can
+    recover the call.  A no-op for in-process strategies.
+``shm_exhaustion``
+    Arm a one-shot shared-memory allocation failure
+    (:func:`repro.kernels.sharded.request_shm_exhaustion`), simulating
+    ``/dev/shm`` running out of space: the next sharded call fails with
+    a structured :class:`~repro.kernels.sharded.ShardedWorkerError` and
+    the fallback ladder demotes to an in-process strategy.
+``corrupt_snapshot``
+    Truncate one durable-state snapshot file under the active
+    ``REPRO_STATE_DIR`` (``param`` selects which by index into the
+    sorted snapshot list; default the first).  The next warm start must
+    quarantine it and rebuild that piece of state cold.  A no-op when
+    no state dir is configured or no snapshot exists.
 
 ``primitive`` may be ``*`` to match every kernel.  Probabilities are
 evaluated per dispatch from the plan's private RNG stream.
@@ -65,7 +84,16 @@ __all__ = [
     "parse_fault_spec",
 ]
 
-FAULT_ACTIONS = ("raise", "corrupt", "slow", "overalloc", "kill_worker")
+FAULT_ACTIONS = (
+    "raise",
+    "corrupt",
+    "slow",
+    "overalloc",
+    "kill_worker",
+    "hang_worker",
+    "shm_exhaustion",
+    "corrupt_snapshot",
+)
 
 _DEFAULT_PARAMS = {
     "raise": 0.0,
@@ -73,6 +101,9 @@ _DEFAULT_PARAMS = {
     "slow": 0.25,
     "overalloc": 0.0,
     "kill_worker": 0.0,
+    "hang_worker": 0.0,
+    "shm_exhaustion": 0.0,
+    "corrupt_snapshot": 0.0,
 }
 
 
@@ -236,10 +267,43 @@ class FaultPlan:
 
                 request_worker_kill()
                 continue  # the sharded dispatch (if any) loses a worker
+            if spec.action == "hang_worker":
+                from ..kernels.sharded import request_worker_hang
+
+                request_worker_hang()
+                continue  # the sharded dispatch (if any) gets a silent worker
+            if spec.action == "shm_exhaustion":
+                from ..kernels.sharded import request_shm_exhaustion
+
+                request_shm_exhaustion()
+                continue  # the next segment allocation fails structured
+            if spec.action == "corrupt_snapshot":
+                _corrupt_snapshot(int(spec.param or 0))
+                continue  # the next warm start must quarantine it
             if spec.action == "corrupt":
                 value = next_call()
                 return _corrupt(value, spec.effective_param)
         return next_call()
+
+
+def _corrupt_snapshot(index: int = 0) -> Optional[str]:
+    """Truncate one snapshot under ``REPRO_STATE_DIR`` mid-file — the
+    on-disk damage a crash during a non-atomic write would leave.
+    Returns the damaged path, or ``None`` when there is nothing to hit.
+    """
+    state_dir = config.state_dir()
+    if not state_dir:
+        return None
+    from ..state import StateStore
+
+    store = StateStore(state_dir)
+    names = store.snapshots()
+    if not names:
+        return None
+    path = store._path(names[index % len(names)])
+    raw = path.read_text()
+    path.write_text(raw[: max(1, len(raw) // 2)])
+    return str(path)
 
 
 def _corrupt(value, scale: float):

@@ -28,10 +28,20 @@ degrees are row-local).
 
 Failure model
 -------------
-A worker death, remote exception, or IPC timeout raises
-:class:`ShardedWorkerError` (a ``RuntimeError``), marks the pool broken
-(it is rebuilt lazily), and lets the guarded runtime's fallback ladder
-demote to an in-process strategy.  Segments are tracked parent-side and
+The pool is *self-healing*: every worker stamps a heartbeat into a
+shared segment around each shard, so the parent can tell a dead worker
+(SIGKILL/OOM), a hung worker (alive but silent past
+``REPRO_SHARD_HEARTBEAT_S`` — e.g. SIGSTOPped or deadlocked), and an
+idle worker apart.  A dead or hung worker is killed and respawned in
+place (fresh task queue, exponential backoff per slot) and its unacked
+shards are resubmitted to the surviving workers — the call completes
+with the same bitwise-deterministic output instead of failing.
+:class:`ShardedWorkerError` (a ``RuntimeError``) is the *last resort*:
+it is raised only for a remote kernel exception (a deterministic bug a
+retry cannot fix), an exhausted respawn budget
+(``REPRO_SHARD_RESPAWNS``), shared-memory exhaustion, or an overall
+call timeout — and then the guarded runtime's fallback ladder demotes
+to an in-process strategy.  Segments are tracked parent-side and
 unlinked on release/atexit so ``/dev/shm`` is left clean; workers
 unregister attachments from their own ``resource_tracker`` to avoid
 double-unlink races.
@@ -44,6 +54,7 @@ import logging
 import os
 import queue
 import signal
+import threading
 import time
 import traceback
 import uuid
@@ -65,10 +76,15 @@ __all__ = [
     "ShardedWorkerError",
     "default_num_workers",
     "default_num_shards",
+    "drain_pool",
     "estimate_segment_bytes",
     "gspmm_sharded",
+    "hang_one_worker",
     "kill_one_worker",
     "live_segment_bytes",
+    "pool_health",
+    "request_shm_exhaustion",
+    "request_worker_hang",
     "request_worker_kill",
     "select_shard_plan",
     "sharded_pool",
@@ -96,11 +112,15 @@ _GRAPH_CACHE_CAP = 4
 # steady-state reuse should hit this cache).
 _WORKER_ATTACH_CAP = 32
 
-_POLL_SECONDS = 0.2  # result-queue poll granularity for liveness checks
+# Exponential-backoff base/cap for in-place worker respawns.
+_RESPAWN_BACKOFF_BASE = 0.05
+_RESPAWN_BACKOFF_MAX = 1.0
 
 
 class ShardedWorkerError(RuntimeError):
-    """A sharded-SpMM worker died, raised remotely, or timed out.
+    """The sharded pool could not complete a call despite self-healing:
+    a remote kernel exception, an exhausted respawn budget, shared-memory
+    exhaustion, or an overall call timeout.
 
     Deliberately a ``RuntimeError``: the guarded runtime classifies it as
     a kernel error and demotes down the fallback ladder.
@@ -213,8 +233,16 @@ def _run_shard(task, attached, arena) -> None:
     )
 
 
-def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover
-    """Worker loop; runs in a child process (coverage can't see it)."""
+def _worker_main(
+    worker_index, hb_name, task_queue, result_queue
+) -> None:  # pragma: no cover
+    """Worker loop; runs in a child process (coverage can't see it).
+
+    The worker stamps a heartbeat — ``[last_beat, busy_since]`` float64
+    pair at its slot of the shared heartbeat segment — at startup, when
+    it picks a task up, and when it finishes one, so the parent can tell
+    *hung while computing* (stale ``busy_since``) from *idle* apart.
+    """
     # The parent validated the CSR once; shard views are trusted.  Set in
     # the child's own environment, before any config read in this process.
     os.environ["REPRO_SKIP_VALIDATION"] = "1"  # lint: allow(env-outside-config)
@@ -222,10 +250,39 @@ def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover
 
     arena = WorkspaceArena()
     attached: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+    hb = None
+    try:
+        hb_shm = shared_memory.SharedMemory(name=hb_name)
+        _untrack(hb_shm)
+        hb = np.ndarray(
+            (2,), dtype=np.float64, buffer=hb_shm.buf,
+            offset=16 * int(worker_index),
+        )
+        hb[0] = time.monotonic()
+    except Exception:
+        hb = None  # heartbeatless workers still compute; only healing degrades
+    parent_pid = os.getppid()
     while True:
+        # Poll instead of blocking forever: if the parent is SIGKILLed its
+        # sentinel never arrives (and sibling workers inherited the queue's
+        # write end, so no EOF either) — self-reap instead of leaking an
+        # orphan that pins attached segments.
+        try:
+            if not task_queue._reader.poll(2.0):
+                # getppid changes the moment the parent terminates, even
+                # while it is still an unreaped zombie (os.kill(pid, 0)
+                # would succeed on the zombie and deadlock against a
+                # supervisor that reaps only after pipe EOF)
+                if os.getppid() != parent_pid:
+                    break
+                continue
+        except (OSError, EOFError):
+            break
         task = task_queue.get()
         if task is None:
             break
+        if hb is not None:
+            hb[1] = hb[0] = time.monotonic()
         try:
             _run_shard(task, attached, arena)
         except BaseException as exc:
@@ -234,6 +291,9 @@ def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover
             )
         else:
             result_queue.put(("ok", task[0]))
+        if hb is not None:
+            hb[0] = time.monotonic()
+            hb[1] = 0.0
     for shm in attached.values():
         shm.close()
 
@@ -245,11 +305,39 @@ def _segment_name() -> str:
     return f"{SEGMENT_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:12]}"
 
 
+_SHM_EXHAUST_REQUESTED = False
+
+
+def request_shm_exhaustion() -> None:
+    """Arm a one-shot allocation failure for the *next* segment create.
+
+    Used by the ``shm_exhaustion`` fault action to simulate ``/dev/shm``
+    running out of space; the next sharded call fails structured (the
+    fallback ladder demotes it) instead of half-allocating.
+    """
+    global _SHM_EXHAUST_REQUESTED
+    _SHM_EXHAUST_REQUESTED = True
+
+
 def _create_segment(nbytes: int) -> shared_memory.SharedMemory:
-    # SharedMemory refuses size=0; zero-size arrays ride a 1-byte segment
-    return shared_memory.SharedMemory(
-        create=True, size=max(int(nbytes), 1), name=_segment_name()
-    )
+    global _SHM_EXHAUST_REQUESTED
+    if _SHM_EXHAUST_REQUESTED:
+        _SHM_EXHAUST_REQUESTED = False
+        raise ShardedWorkerError(
+            "injected shared-memory exhaustion (shm_exhaustion fault)"
+        )
+    try:
+        # SharedMemory refuses size=0; zero-size arrays ride a 1-byte segment
+        return shared_memory.SharedMemory(
+            create=True, size=max(int(nbytes), 1), name=_segment_name()
+        )
+    except OSError as exc:
+        # ENOSPC/ENOMEM on /dev/shm: surface structured so the guard
+        # ladder demotes to an in-process strategy instead of crashing
+        raise ShardedWorkerError(
+            f"shared-memory segment allocation of {max(int(nbytes), 1)} "
+            f"bytes failed ({exc}); /dev/shm may be exhausted"
+        ) from exc
 
 
 def _pid_alive(pid: int) -> bool:
@@ -350,17 +438,21 @@ def _graph_segments(adj: CSRMatrix) -> Dict[str, shared_memory.SharedMemory]:
         return _GRAPH_SEGMENTS[token]
     token = uuid.uuid4().hex
     entry: Dict[str, shared_memory.SharedMemory] = {}
-    for role, arr in (
-        ("indptr", adj.indptr),
-        ("indices", adj.indices),
-        ("values", adj.values),
-    ):
-        if arr is None:
-            continue
-        arr = np.ascontiguousarray(arr)
-        shm = _create_segment(arr.nbytes)
-        _fill_segment(shm, arr)
-        entry[role] = shm
+    try:
+        for role, arr in (
+            ("indptr", adj.indptr),
+            ("indices", adj.indices),
+            ("values", adj.values),
+        ):
+            if arr is None:
+                continue
+            arr = np.ascontiguousarray(arr)
+            shm = _create_segment(arr.nbytes)
+            _fill_segment(shm, arr)
+            entry[role] = shm
+    except Exception:
+        _release_entry(entry)  # allocation died mid-graph: no half entries
+        raise
     adj._aux["sharded_segments"] = token
     _GRAPH_SEGMENTS[token] = entry
     while len(_GRAPH_SEGMENTS) > _GRAPH_CACHE_CAP:
@@ -383,9 +475,7 @@ def _acquire_buffer(nbytes: int) -> shared_memory.SharedMemory:
     free = _BUFFER_POOL.get(size)
     if free:
         return free.pop()
-    return shared_memory.SharedMemory(
-        create=True, size=size, name=_segment_name()
-    )
+    return _create_segment(size)
 
 
 def _release_buffer(shm: shared_memory.SharedMemory) -> None:
@@ -434,33 +524,75 @@ def _mp_context():
 
 
 class _WorkerPool:
-    """Persistent workers, one task queue each plus a shared result queue.
+    """Persistent *self-healing* workers: one task queue each, a shared
+    result queue, and a shared heartbeat segment.
 
     Per-worker queues make submission a deterministic round-robin (shard
     ``i`` -> worker ``i % W``) and keep a poisoned worker from stealing
     its siblings' tasks; the shared result queue gives the parent one
-    place to wait with a timeout and a liveness check.
+    place to wait with a timeout.  The parent tracks every submitted
+    task until its ack arrives, so when a worker dies or hangs
+    (heartbeat silent past ``REPRO_SHARD_HEARTBEAT_S`` while holding
+    shards) it can be killed, respawned in place — fresh task queue,
+    exponential backoff per slot — and its unacked shards resubmitted
+    to the survivors.  Shard writes land in disjoint ``out[r0:r1]``
+    ranges, so re-running a possibly-half-finished shard is idempotent
+    and the healed call stays bitwise-identical.
     """
 
     def __init__(self, num_workers: int) -> None:
-        ctx = _mp_context()
+        self._ctx = _mp_context()
         self.num_workers = num_workers
         self.broken = False
-        self.task_queues = [ctx.SimpleQueue() for _ in range(num_workers)]
-        self.result_queue = ctx.Queue()
+        self.restarts = 0  # pool-lifetime respawn count (health probe)
+        self.slot_restarts = [0] * num_workers
+        self.hb_shm = _create_segment(16 * num_workers)
+        self._hb = np.ndarray(
+            (num_workers, 2), dtype=np.float64, buffer=self.hb_shm.buf
+        )
+        self._hb[...] = 0.0
+        self.result_queue = self._ctx.Queue()
+        self.task_queues = []
         self.processes = []
-        for i, task_queue in enumerate(self.task_queues):
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(task_queue, self.result_queue),
-                name=f"repro-shard-{i}",
-                daemon=True,
-            )
-            proc.start()
-            self.processes.append(proc)
+        # inflight bookkeeping: shard id -> (slot, task); per-slot views
+        self._inflight: Dict[int, Tuple[int, tuple]] = {}
+        self._slot_inflight: List[set] = [set() for _ in range(num_workers)]
+        # last observed progress per slot: spawn, ack, or heartbeat change
+        now = time.monotonic()
+        self._progress = [now] * num_workers
+        self._last_beat = [0.0] * num_workers
+        for i in range(num_workers):
+            self.task_queues.append(self._ctx.SimpleQueue())
+            self.processes.append(self._spawn(i))
 
+    def _spawn(self, slot: int):
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                slot, self.hb_shm.name,
+                self.task_queues[slot], self.result_queue,
+            ),
+            name=f"repro-shard-{slot}",
+            daemon=True,
+        )
+        proc.start()
+        self._progress[slot] = time.monotonic()
+        return proc
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
     def submit(self, shard_index: int, task) -> None:
-        self.task_queues[shard_index % self.num_workers].put(task)
+        self._assign(shard_index % self.num_workers, task)
+
+    def _assign(self, slot: int, task) -> None:
+        shard_id = task[0]
+        self._inflight[shard_id] = (slot, task)
+        self._slot_inflight[slot].add(shard_id)
+        # the hang clock starts at assignment, not at the (possibly long
+        # ago) previous heartbeat — an idle pool is not a hung pool
+        self._progress[slot] = time.monotonic()
+        self.task_queues[slot].put(task)
 
     def dead_workers(self) -> List[str]:
         return [
@@ -469,37 +601,149 @@ class _WorkerPool:
             if not p.is_alive()
         ]
 
+    def alive_count(self) -> int:
+        return sum(1 for p in self.processes if p.is_alive())
+
+    def ensure_alive(self) -> None:
+        """Respawn any worker that died while idle (between calls)."""
+        for slot, proc in enumerate(self.processes):
+            if not proc.is_alive():
+                self.restarts += 1
+                self.slot_restarts[slot] += 1
+                self.task_queues[slot] = self._ctx.SimpleQueue()
+                self.processes[slot] = self._spawn(slot)
+
+    # ------------------------------------------------------------------
+    # Collection + healing
+    # ------------------------------------------------------------------
+    def _observe_heartbeats(self) -> None:
+        """Fold heartbeat-segment changes into per-slot progress times."""
+        now = time.monotonic()
+        for slot in range(self.num_workers):
+            beat = float(self._hb[slot, 0])
+            if beat != self._last_beat[slot]:
+                self._last_beat[slot] = beat
+                self._progress[slot] = now
+
+    def _hung_slots(self, heartbeat_s: float) -> List[int]:
+        """Slots holding shards with no progress for ``heartbeat_s``.
+
+        Covers both a worker stalled *inside* a shard (busy marker set,
+        heartbeat frozen — SIGSTOP, deadlock) and one stopped while its
+        queue holds work it never picks up.
+        """
+        self._observe_heartbeats()
+        now = time.monotonic()
+        return [
+            slot
+            for slot in range(self.num_workers)
+            if self._slot_inflight[slot]
+            and now - self._progress[slot] > heartbeat_s
+        ]
+
+    def _heal(self, counters: Dict[str, int], deadline: float) -> None:
+        """Kill hung workers, respawn dead slots, resubmit orphans."""
+        heartbeat_s = config.shard_heartbeat_seconds()
+        budget = config.shard_respawns()
+        for slot in self._hung_slots(heartbeat_s):
+            proc = self.processes[slot]
+            if proc.is_alive() and proc.pid is not None:
+                logger.warning(
+                    "sharded worker %s hung (silent %.1fs past "
+                    "REPRO_SHARD_HEARTBEAT_S with %d shard(s)); killing",
+                    proc.name, heartbeat_s, len(self._slot_inflight[slot]),
+                )
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=5.0)
+        for slot, proc in enumerate(self.processes):
+            if proc.is_alive():
+                continue
+            counters["respawns"] += 1
+            if counters["respawns"] > budget:
+                self.broken = True
+                raise ShardedWorkerError(
+                    f"sharded SpMM gave up after {budget} worker "
+                    f"respawn(s) in one call (REPRO_SHARD_RESPAWNS); "
+                    f"last corpse: {proc.name} (exitcode {proc.exitcode})"
+                )
+            self.restarts += 1
+            self.slot_restarts[slot] += 1
+            backoff = min(
+                _RESPAWN_BACKOFF_BASE * (2 ** (self.slot_restarts[slot] - 1)),
+                _RESPAWN_BACKOFF_MAX,
+            )
+            backoff = min(backoff, max(deadline - time.monotonic(), 0.0))
+            if backoff > 0.0:
+                time.sleep(backoff)
+            orphans = [
+                self._inflight[shard_id][1]
+                for shard_id in sorted(self._slot_inflight[slot])
+            ]
+            self._slot_inflight[slot].clear()
+            # abandoned queue may still hold orphans; the replacement gets
+            # a fresh queue so nothing is ever executed twice concurrently
+            self.task_queues[slot] = self._ctx.SimpleQueue()
+            self.processes[slot] = self._spawn(slot)
+            survivors = [
+                s for s in range(self.num_workers)
+                if self.processes[s].is_alive()
+            ] or [slot]
+            for i, task in enumerate(orphans):
+                target = survivors[i % len(survivors)]
+                logger.warning(
+                    "resubmitting shard %s from dead worker slot %d to %s",
+                    task[0], slot, self.processes[target].name,
+                )
+                self._assign(target, task)
+
     def collect(self, expected: int, timeout: float) -> None:
-        """Wait for ``expected`` shard acks; raise on death/timeout/error."""
+        """Wait for ``expected`` shard acks, healing workers as needed.
+
+        Raises :class:`ShardedWorkerError` only as a last resort: remote
+        kernel exception, respawn budget exhausted, or overall timeout.
+        """
         deadline = time.monotonic() + timeout
-        done = 0
-        while done < expected:
+        poll = config.shard_poll_seconds()
+        counters = {"respawns": 0}
+        done_ids: set = set()
+        while len(done_ids) < expected:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 self.broken = True
                 raise ShardedWorkerError(
                     f"sharded SpMM timed out after {timeout:.1f}s with "
-                    f"{expected - done} shard(s) outstanding "
+                    f"{expected - len(done_ids)} shard(s) outstanding "
                     f"(raise REPRO_SHARDED_TIMEOUT for slow hosts)"
                 )
             try:
-                msg = self.result_queue.get(timeout=min(_POLL_SECONDS, remaining))
+                msg = self.result_queue.get(timeout=min(poll, remaining))
             except queue.Empty:
-                dead = self.dead_workers()
-                if dead:
-                    self.broken = True
-                    raise ShardedWorkerError(
-                        f"sharded SpMM worker(s) died mid-shard: {', '.join(dead)}"
-                    ) from None
+                self._heal(counters, deadline)
                 continue
             if msg[0] == "ok":
-                done += 1
+                shard_id = msg[1]
+                if shard_id in done_ids:
+                    continue  # duplicate ack after a resubmission race
+                done_ids.add(shard_id)
+                entry = self._inflight.pop(shard_id, None)
+                if entry is not None:
+                    slot = entry[0]
+                    self._slot_inflight[slot].discard(shard_id)
+                    self._progress[slot] = time.monotonic()
             else:
+                # a remote exception is a deterministic kernel failure;
+                # resubmitting it would fail identically — surface it
                 self.broken = True
                 raise ShardedWorkerError(
                     f"shard {msg[1]} failed remotely: {msg[2]}\n{msg[3]}"
                 )
+        self._inflight.clear()
+        for inflight in self._slot_inflight:
+            inflight.clear()
 
+    # ------------------------------------------------------------------
+    # Chaos hooks + lifecycle
+    # ------------------------------------------------------------------
     def kill_one(self) -> bool:
         """SIGKILL one live worker (the chaos harness's fault hook)."""
         for proc in self.processes:
@@ -509,48 +753,123 @@ class _WorkerPool:
                 return True
         return False
 
+    def stop_one(self) -> bool:
+        """SIGSTOP one live worker: alive but silent (the hang fault)."""
+        for proc in self.processes:
+            if proc.is_alive() and proc.pid is not None:
+                os.kill(proc.pid, signal.SIGSTOP)
+                return True
+        return False
+
+    def health(self) -> Dict[str, object]:
+        return {
+            "num_workers": self.num_workers,
+            "alive": self.alive_count(),
+            "restarts": self.restarts,
+            "broken": self.broken,
+            "inflight": len(self._inflight),
+        }
+
     def shutdown(self) -> None:
         for task_queue, proc in zip(self.task_queues, self.processes):
             try:
                 if proc.is_alive():
                     task_queue.put(None)
+                    # a SIGSTOPped worker can't see the sentinel (or a
+                    # SIGTERM) until resumed
+                    os.kill(proc.pid, signal.SIGCONT)
             except Exception:
                 pass
         for proc in self.processes:
             proc.join(timeout=2.0)
             if proc.is_alive():
+                # a SIGSTOPped worker ignores terminate(); make sure the
+                # corpse cannot wake up inside a recycled segment later
                 proc.terminate()
+                proc.join(timeout=2.0)
+            if proc.is_alive() and proc.pid is not None:
+                os.kill(proc.pid, signal.SIGKILL)
                 proc.join(timeout=2.0)
         for task_queue in self.task_queues:
             task_queue.close()
         self.result_queue.close()
         self.result_queue.join_thread()
+        try:
+            self.hb_shm.close()
+            self.hb_shm.unlink()
+        except FileNotFoundError:
+            pass
 
 
 _POOL: Optional[_WorkerPool] = None
 _KILL_REQUESTED = False
+_HANG_REQUESTED = False
+# gspmm_sharded shares one result queue across the pool; two threads
+# collecting concurrently would steal each other's acks.  The serving
+# runtime calls in from multiple request threads, so pool use is
+# serialized here — the workers, not the submitting threads, are the
+# parallelism.
+_POOL_LOCK = threading.RLock()
 
 
 def _get_pool(num_workers: int) -> _WorkerPool:
     global _POOL
     if _POOL is not None and (
-        _POOL.broken or _POOL.num_workers != num_workers or _POOL.dead_workers()
+        _POOL.broken or _POOL.num_workers != num_workers
     ):
         _POOL.shutdown()
         _POOL = None
     if _POOL is None:
         _startup_sweep()
         _POOL = _WorkerPool(num_workers)
+    else:
+        # a worker that died between calls is respawned in place rather
+        # than costing the whole warm pool
+        _POOL.ensure_alive()
     return _POOL
 
 
 def shutdown_pool() -> None:
-    """Stop the warm worker pool (restarted lazily on the next call)."""
-    global _POOL, _KILL_REQUESTED
+    """Stop the warm worker pool (restarted lazily on the next call).
+
+    Also disarms any pending injected faults so a chaos scenario cannot
+    leak an armed one-shot into the next pool's first call.
+    """
+    global _POOL, _KILL_REQUESTED, _HANG_REQUESTED, _SHM_EXHAUST_REQUESTED
     _KILL_REQUESTED = False
-    if _POOL is not None:
-        _POOL.shutdown()
-        _POOL = None
+    _HANG_REQUESTED = False
+    _SHM_EXHAUST_REQUESTED = False
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown()
+            _POOL = None
+
+
+def drain_pool() -> None:
+    """Gracefully quiesce the pool: wait for in-flight shards, then stop.
+
+    Pool use is serialized by ``_POOL_LOCK`` and a call only releases it
+    once every shard is acked, so taking the lock *is* the wait; the
+    shutdown inside then observes an idle pool.  Service shutdown calls
+    this before :func:`release_segments` so no worker can ever touch an
+    unlinked segment.
+    """
+    with _POOL_LOCK:
+        shutdown_pool()
+
+
+def pool_health() -> Dict[str, object]:
+    """Liveness snapshot of the warm pool (``None``-safe, non-blocking).
+
+    Reads pool fields without taking ``_POOL_LOCK`` so a health probe
+    stays responsive while a long call holds the pool.
+    """
+    pool = _POOL
+    if pool is None:
+        return {"running": False}
+    health = pool.health()
+    health["running"] = True
+    return health
 
 
 def request_worker_kill() -> None:
@@ -558,10 +877,22 @@ def request_worker_kill() -> None:
 
     Used by the ``kill_worker`` fault action to simulate a worker crash
     mid-shard; the next :func:`gspmm_sharded` kills one worker right
-    after dispatching its shards.
+    after dispatching its shards and must recover by resubmitting the
+    corpse's shards to the survivors.
     """
     global _KILL_REQUESTED
     _KILL_REQUESTED = True
+
+
+def request_worker_hang() -> None:
+    """Arm a one-shot SIGSTOP of a worker during the *next* sharded call.
+
+    Used by the ``hang_worker`` fault action: the stopped worker stays
+    alive but silent, so only heartbeat-based hung detection (not the
+    dead-pipe check) can recover the call.
+    """
+    global _HANG_REQUESTED
+    _HANG_REQUESTED = True
 
 
 def kill_one_worker() -> bool:
@@ -571,18 +902,26 @@ def kill_one_worker() -> bool:
     return _POOL.kill_one()
 
 
+def hang_one_worker() -> bool:
+    """SIGSTOP a live pool worker right now; returns False if no pool."""
+    if _POOL is None:
+        return False
+    return _POOL.stop_one()
+
+
 @contextmanager
 def sharded_pool(num_workers: Optional[int] = None):
     """Scoped pool: warm within the block, shut down (and segments
     released) on exit.  Tests and short-lived drivers use this to
     guarantee a clean ``/dev/shm``; long-lived engines rely on the warm
     module pool plus the atexit hook instead."""
-    pool = _get_pool(num_workers or default_num_workers())
-    try:
-        yield pool
-    finally:
-        shutdown_pool()
-        release_segments()
+    with _POOL_LOCK:
+        pool = _get_pool(num_workers or default_num_workers())
+        try:
+            yield pool
+        finally:
+            shutdown_pool()
+            release_segments()
 
 
 def _atexit_cleanup() -> None:  # pragma: no cover - interpreter shutdown
@@ -628,7 +967,7 @@ def gspmm_sharded(
     lets :func:`select_shard_plan` pick per shard.  ``timeout`` defaults
     to ``REPRO_SHARDED_TIMEOUT`` seconds.
     """
-    global _KILL_REQUESTED
+    global _KILL_REQUESTED, _HANG_REQUESTED
     if semiring is None:
         semiring = get_semiring()
     x = np.asarray(x, dtype=np.float64)
@@ -650,50 +989,66 @@ def gspmm_sharded(
     bounds = plan_row_shards(adj.indptr, num_shards)
     _check_shard_bounds(bounds, n)
 
-    pool = _get_pool(num_workers)
-    if _KILL_REQUESTED:
-        # Fault hook (repro.faults kill_worker): SIGKILL one worker *before*
-        # its shards are submitted, so the tasks round-robined onto the dead
-        # process can never complete and collect() must detect the corpse —
-        # a deterministic stand-in for a worker dying mid-shard.
-        _KILL_REQUESTED = False
-        pool.kill_one()
-    graph_entry = _graph_segments(adj)
-    x_shm = _acquire_buffer(max(x.nbytes, 1))
-    out_shm = _acquire_buffer(max(n * k_out * 8, 1))
-    try:
-        _fill_segment(x_shm, x)
-        names = {
-            "indptr": graph_entry["indptr"].name,
-            "indices": graph_entry["indices"].name,
-            "x": x_shm.name,
-            "out": out_shm.name,
-        }
-        has_values = adj.values is not None
-        if has_values:
-            names["values"] = graph_entry["values"].name
-        meta = (n, ncols, int(adj.nnz), k_in, k_out, has_values)
-        submitted = 0
-        for i in range(num_shards):
-            r0, r1 = int(bounds[i]), int(bounds[i + 1])
-            shard_edges = int(adj.indptr[r1] - adj.indptr[r0])
-            if block_nnz is not None:
-                inner, block = "blocked", int(block_nnz)
-            else:
-                inner, block = select_shard_plan(shard_edges, r1 - r0, k_in)
-            pool.submit(i, (i, names, meta, r0, r1,
-                            semiring.reduce.name, semiring.binary.name,
-                            inner, block))
-            submitted += 1
-        pool.collect(submitted, timeout or config.sharded_timeout_seconds())
-        out = np.ndarray((n, k_out), dtype=np.float64, buffer=out_shm.buf).copy()
-    except Exception:
-        # A late worker write into a recycled buffer would corrupt an
-        # unrelated call: on any failure the buffers die with the pool.
-        _discard_buffer(x_shm)
-        _discard_buffer(out_shm)
-        shutdown_pool()
-        raise
-    _release_buffer(x_shm)
-    _release_buffer(out_shm)
-    return out
+    with _POOL_LOCK:
+        pool = _get_pool(num_workers)
+        if _KILL_REQUESTED:
+            # Fault hook (repro.faults kill_worker): SIGKILL one worker
+            # *before* its shards are submitted, so tasks round-robined
+            # onto the dead process sit in an abandoned queue and the
+            # healing collect() must respawn the slot and resubmit them —
+            # a deterministic stand-in for a worker dying mid-shard.
+            _KILL_REQUESTED = False
+            pool.kill_one()
+        if _HANG_REQUESTED:
+            # Fault hook (repro.faults hang_worker): SIGSTOP leaves the
+            # worker alive but silent, so only heartbeat-based hung
+            # detection recovers the call.
+            _HANG_REQUESTED = False
+            pool.stop_one()
+        graph_entry = _graph_segments(adj)
+        x_shm = _acquire_buffer(max(x.nbytes, 1))
+        try:
+            out_shm = _acquire_buffer(max(n * k_out * 8, 1))
+        except Exception:
+            # nothing was submitted yet: the pool is untouched and the
+            # lone acquired buffer can be recycled, not torn down
+            _release_buffer(x_shm)
+            raise
+        try:
+            _fill_segment(x_shm, x)
+            names = {
+                "indptr": graph_entry["indptr"].name,
+                "indices": graph_entry["indices"].name,
+                "x": x_shm.name,
+                "out": out_shm.name,
+            }
+            has_values = adj.values is not None
+            if has_values:
+                names["values"] = graph_entry["values"].name
+            meta = (n, ncols, int(adj.nnz), k_in, k_out, has_values)
+            submitted = 0
+            for i in range(num_shards):
+                r0, r1 = int(bounds[i]), int(bounds[i + 1])
+                shard_edges = int(adj.indptr[r1] - adj.indptr[r0])
+                if block_nnz is not None:
+                    inner, block = "blocked", int(block_nnz)
+                else:
+                    inner, block = select_shard_plan(shard_edges, r1 - r0, k_in)
+                pool.submit(i, (i, names, meta, r0, r1,
+                                semiring.reduce.name, semiring.binary.name,
+                                inner, block))
+                submitted += 1
+            pool.collect(submitted, timeout or config.sharded_timeout_seconds())
+            out = np.ndarray(
+                (n, k_out), dtype=np.float64, buffer=out_shm.buf
+            ).copy()
+        except Exception:
+            # A late worker write into a recycled buffer would corrupt an
+            # unrelated call: on any failure the buffers die with the pool.
+            _discard_buffer(x_shm)
+            _discard_buffer(out_shm)
+            shutdown_pool()
+            raise
+        _release_buffer(x_shm)
+        _release_buffer(out_shm)
+        return out

@@ -130,6 +130,37 @@ class PlanCache:
             return payload, False
 
     # ------------------------------------------------------------------
+    # Durable-state support
+    # ------------------------------------------------------------------
+    def export_entries(self) -> list:
+        """Published entries in LRU order (oldest first) as
+        ``(key, token, payload)`` triples — the warm-start snapshot."""
+        with self._lock:
+            return [
+                (e.key, e.token, e.payload) for e in self._entries.values()
+            ]
+
+    def seed(self, entries) -> int:
+        """Pre-publish ``(key, token, payload)`` triples (warm start).
+
+        Existing keys are left alone — live state beats a snapshot.
+        Insertion preserves the given order under the LRU bound, so when
+        a snapshot exceeds capacity the *newest* entries survive.
+        Returns the count inserted.
+        """
+        inserted = 0
+        with self._lock:
+            for key, token, payload in entries:
+                if key in self._entries:
+                    continue
+                self._entries[key] = CacheEntry(key, token, payload)
+                inserted += 1
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+        return inserted
+
+    # ------------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
         total = self._hits + self._misses

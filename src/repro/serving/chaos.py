@@ -19,17 +19,28 @@ through a live service and checks the serving contract:
   retry-after hint, and every accepted request still terminates;
 - **collision safety**: a forced fingerprint key collision is detected
   by the structural token and served by recompute — never by the
-  colliding entry's plan.
+  colliding entry's plan;
+- **self-healing**: a sharded worker killed (``worker-kill``) or hung
+  (``hang-worker``) mid-request is healed by the pool itself —
+  respawn plus shard resubmission — with bitwise-correct results;
+- **durability**: a snapshot corrupted on disk is quarantined at warm
+  start with the service still answering (``corrupt-snapshot``), and a
+  SIGKILLed serving process leaves state a fresh process warm-starts
+  from — first repeat request is a plan-cache hit and no ``/dev/shm``
+  segment survives the sweep (``restart-warm``).
 
 Scenarios: ``slow-tenant``, ``poison-graph``, ``worker-kill``,
-``cache-collision``, ``overload``, ``poison-input``.  Each is seeded
-and replayable; exit status is non-zero iff any violation is recorded.
+``hang-worker``, ``shm-exhaustion``, ``cache-collision``,
+``overload``, ``poison-input``, ``corrupt-snapshot``,
+``restart-warm``.  Each is seeded and replayable; exit status is
+non-zero iff any violation is recorded.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from concurrent.futures import Future, TimeoutError as FutureTimeout
@@ -279,6 +290,305 @@ def scenario_worker_kill(graph, feats, reference, cost_models, seed, n):
     )
 
 
+def scenario_hang_worker(graph, feats, reference, cost_models, seed, n):
+    """SIGSTOP storms: a hung (alive-but-silent) worker is detected by
+    heartbeat, killed, and its shards resubmitted — requests complete
+    with correct values and the sharded strategy is never demoted."""
+    from ..kernels.sharded import pool_health, shutdown_pool
+
+    t0 = time.perf_counter()
+    violations: List[str] = []
+    old_hb = os.environ.get("REPRO_SHARD_HEARTBEAT_S")  # lint: allow(env-outside-config)
+    os.environ["REPRO_SHARD_HEARTBEAT_S"] = "0.5"  # lint: allow(env-outside-config)
+    try:
+        with _service(
+            cost_models, spmm_strategy="spmm_sharded", retries=3,
+            num_threads=2,
+        ) as svc:
+            futures = []
+            for i in range(n):
+                plan = FaultPlan.from_string(
+                    "spmm:hang_worker:0.5", seed=seed + i
+                )
+                futures.append(svc.submit(ServeRequest(
+                    tenant="hangs", model="gcn", graph=graph, feats=feats,
+                )))
+                futures.append(svc.submit(ServeRequest(
+                    tenant="hangs", model="gcn", graph=graph, feats=feats,
+                    fault_plan=plan,
+                )))
+            results = _gather(futures, violations)
+        health = pool_health()
+    finally:
+        shutdown_pool()
+        if old_hb is None:
+            os.environ.pop("REPRO_SHARD_HEARTBEAT_S", None)  # lint: allow(env-outside-config)
+        else:
+            os.environ["REPRO_SHARD_HEARTBEAT_S"] = old_hb  # lint: allow(env-outside-config)
+    for r in results:
+        if not r.ok and r.outcome not in ("timeout", "error"):
+            violations.append(
+                f"raw_escape: hangs/{r.request_id}: "
+                f"{r.error_type}: {r.error}"
+            )
+        if r.ok and not np.allclose(
+            r.value, reference, rtol=1e-4, atol=1e-6
+        ):
+            violations.append(
+                f"mismatch: hangs/{r.request_id} survived the hang storm "
+                f"with a wrong value"
+            )
+    if not any(r.ok for r in results):
+        violations.append(
+            "mismatch: no request survived the hang storm — heartbeat "
+            "detection never recovered a stopped worker"
+        )
+    return _record(
+        "hang-worker", violations, t0,
+        served=sum(1 for r in results if r.ok),
+        pool_restarts=int(health.get("restarts", 0)),
+        demoted_requests=sum(1 for r in results if r.demotions),
+    )
+
+
+def scenario_shm_exhaustion(graph, feats, reference, cost_models, seed, n):
+    """Injected ``/dev/shm`` exhaustion: the sharded call fails with a
+    structured error and retries or the fallback ladder finish the
+    request in-process — every request terminates with a correct
+    value."""
+    from ..kernels.sharded import shutdown_pool
+
+    t0 = time.perf_counter()
+    violations: List[str] = []
+    try:
+        with _service(
+            cost_models, spmm_strategy="spmm_sharded", retries=2,
+            num_threads=2,
+        ) as svc:
+            futures = []
+            for i in range(n):
+                plan = FaultPlan.from_string(
+                    "spmm:shm_exhaustion:1.0", seed=seed + i
+                )
+                futures.append(svc.submit(ServeRequest(
+                    tenant="noshm", model="gcn", graph=graph, feats=feats,
+                    fault_plan=plan,
+                )))
+            results = _gather(futures, violations)
+    finally:
+        shutdown_pool()
+    for r in results:
+        if not r.ok and r.outcome not in ("timeout", "error"):
+            violations.append(
+                f"raw_escape: noshm/{r.request_id}: "
+                f"{r.error_type}: {r.error}"
+            )
+        if r.ok and not np.allclose(
+            r.value, reference, rtol=1e-4, atol=1e-6
+        ):
+            violations.append(
+                f"mismatch: noshm/{r.request_id} survived shm exhaustion "
+                f"with a wrong value"
+            )
+    if not any(r.ok for r in results):
+        violations.append(
+            "mismatch: no request survived shm exhaustion — the retry "
+            "and fallback paths both failed"
+        )
+    return _record(
+        "shm-exhaustion", violations, t0,
+        served=sum(1 for r in results if r.ok),
+        kernel_retries=sum(r.retries for r in results),
+        demoted_requests=sum(1 for r in results if r.demotions),
+    )
+
+
+def scenario_corrupt_snapshot(graph, feats, reference, cost_models, seed, n):
+    """A snapshot damaged on disk (the ``corrupt_snapshot`` fault) must
+    be quarantined at the next warm start and the service must still
+    answer correctly — a damaged file costs a cold rebuild, never a
+    crash or a wrong answer."""
+    import tempfile
+
+    t0 = time.perf_counter()
+    violations: List[str] = []
+    quarantined: List[str] = []
+    warm_start: Dict[str, object] = {}
+    state_dir = tempfile.mkdtemp(prefix="granii-state-chaos-")
+    old_env = os.environ.get("REPRO_STATE_DIR")  # lint: allow(env-outside-config)
+    os.environ["REPRO_STATE_DIR"] = state_dir  # lint: allow(env-outside-config)
+    try:
+        with _service(cost_models, state_dir=state_dir) as svc:
+            first = svc.serve(ServeRequest(
+                tenant="durable", model="gcn", graph=graph, feats=feats,
+            ), timeout=GATHER_TIMEOUT_SECONDS)
+            if not first.ok:
+                violations.append(
+                    f"mismatch: durable/{first.request_id} failed before "
+                    f"any fault: {first.error}"
+                )
+            svc.save_state()
+            # the fault fires at the next kernel dispatch and truncates
+            # one snapshot file mid-write, as a crashed writer would;
+            # param 1 indexes the sorted snapshot list at "plan_cache",
+            # which every warm start loads regardless of constructor args
+            plan = FaultPlan.from_string(
+                "*:corrupt_snapshot:1.0:1", seed=seed
+            )
+            damaged = svc.serve(ServeRequest(
+                tenant="durable", model="gcn", graph=graph, feats=feats,
+                fault_plan=plan,
+            ), timeout=GATHER_TIMEOUT_SECONDS)
+            if not damaged.ok:
+                violations.append(
+                    f"mismatch: the corrupt_snapshot fault broke the "
+                    f"*serving* path: {damaged.error}"
+                )
+        # restart: the corrupted snapshot must quarantine, the rest of
+        # the state must load, and the service must still answer
+        with _service(cost_models, state_dir=state_dir) as svc2:
+            health = svc2.health()
+            quarantined = list(health["state_store"]["quarantined"])
+            warm_start = dict(svc2.warm_start)
+            if not quarantined:
+                violations.append(
+                    "mismatch: the damaged snapshot was not quarantined "
+                    "at warm start"
+                )
+            result = svc2.serve(ServeRequest(
+                tenant="durable", model="gcn", graph=graph, feats=feats,
+            ), timeout=GATHER_TIMEOUT_SECONDS)
+            if not result.ok:
+                violations.append(
+                    f"raw_escape: the service failed after quarantining a "
+                    f"corrupt snapshot: {result.error_type}: {result.error}"
+                )
+            elif not np.allclose(
+                result.value, reference, rtol=1e-4, atol=1e-6
+            ):
+                violations.append(
+                    "mismatch: post-quarantine answer diverged from the "
+                    "baseline"
+                )
+    finally:
+        if old_env is None:
+            os.environ.pop("REPRO_STATE_DIR", None)  # lint: allow(env-outside-config)
+        else:
+            os.environ["REPRO_STATE_DIR"] = old_env  # lint: allow(env-outside-config)
+    return _record(
+        "corrupt-snapshot", violations, t0,
+        quarantined=quarantined, warm_start=warm_start,
+    )
+
+
+def scenario_restart_warm(graph, feats, reference, cost_models, seed, n):
+    """The full kill-and-restart round trip: a service process records a
+    runtime residual, saves state, and dies by SIGKILL (no cleanup).
+    A fresh process must sweep the leaked segments, warm-start from
+    ``REPRO_STATE_DIR``, and serve the first repeat request as a
+    plan-cache **hit** — same plan, no re-selection, no re-measurement —
+    with zero leaked ``/dev/shm`` segments."""
+    import subprocess
+    import tempfile
+
+    from ..kernels.sharded import SEGMENT_PREFIX, shutdown_pool, sweep_leaked_segments
+
+    t0 = time.perf_counter()
+    violations: List[str] = []
+    warm: Dict[str, object] = {}
+    warm_seconds = -1.0
+    result: Optional[ServeResult] = None
+    state_dir = tempfile.mkdtemp(prefix="granii-state-restart-")
+    nodes = graph.num_nodes
+    child_code = (
+        "import os, signal\n"
+        "import numpy as np\n"
+        "from repro.core.costmodel import record_runtime_residual\n"
+        "from repro.graphs.generators import erdos_renyi\n"
+        "from repro.serving.service import GraniiService, ServeRequest\n"
+        f"graph = erdos_renyi({nodes}, avg_degree=6, seed=7)\n"
+        f"feats = np.random.default_rng({seed}).standard_normal"
+        f"((graph.num_nodes, {IN_SIZE}))\n"
+        f"svc = GraniiService(device='cpu', num_threads=2,\n"
+        f"    spmm_strategy='spmm_sharded', state_dir={state_dir!r})\n"
+        f"svc.register_model('gcn', {IN_SIZE}, {OUT_SIZE})\n"
+        "record_runtime_residual('cpu', 'spmm', 2.0, 1.0)\n"
+        "r = svc.serve(ServeRequest(tenant='t', model='gcn', graph=graph,"
+        " feats=feats))\n"
+        "assert r.ok, r.error\n"
+        "svc.save_state()\n"
+        "print('ready', flush=True)\n"
+        "os.kill(os.getpid(), signal.SIGKILL)\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", child_code],
+        env=dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path)),  # lint: allow(env-outside-config)
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if proc.returncode != -9 or "ready" not in proc.stdout:
+        violations.append(
+            f"mismatch: the to-be-killed serving process did not reach "
+            f"its SIGKILL (rc={proc.returncode}): {proc.stderr[-500:]}"
+        )
+        return _record("restart-warm", violations, t0)
+    sweep_leaked_segments()
+    # warm start in THIS process: residuals + cost models + plan cache
+    # all come off disk; no cost_models argument on purpose
+    t_warm = time.perf_counter()
+    try:
+        with _service(None, spmm_strategy="spmm_sharded", num_threads=2,
+                      state_dir=state_dir) as svc:
+            warm = dict(svc.warm_start)
+            result = svc.serve(ServeRequest(
+                tenant="t", model="gcn", graph=graph, feats=feats,
+            ), timeout=GATHER_TIMEOUT_SECONDS)
+        warm_seconds = time.perf_counter() - t_warm
+        if not bool(warm.get("cost_models")):
+            violations.append(
+                "mismatch: cost models were not warm-started from disk"
+            )
+        if int(warm.get("residuals", 0)) < 1:
+            violations.append(
+                "mismatch: runtime residuals were not warm-started"
+            )
+        if not result.ok:
+            violations.append(
+                f"raw_escape: warm-started service failed: "
+                f"{result.error_type}: {result.error}"
+            )
+        else:
+            if not result.cache_hit:
+                violations.append(
+                    "mismatch: the first repeat request after restart "
+                    "re-selected instead of hitting the warmed plan cache"
+                )
+            if not np.allclose(result.value, reference, rtol=1e-4, atol=1e-6):
+                violations.append(
+                    "mismatch: the warm-started answer diverged from the "
+                    "baseline"
+                )
+    finally:
+        shutdown_pool()
+    own = f"-{os.getpid()}-"
+    leaked = [
+        name for name in os.listdir("/dev/shm")
+        if name.startswith(SEGMENT_PREFIX) and own not in name
+    ]
+    if leaked:
+        violations.append(
+            f"mismatch: {len(leaked)} leaked /dev/shm segment(s) survived "
+            f"the restart sweep: {leaked[:4]}"
+        )
+    return _record(
+        "restart-warm", violations, t0,
+        warm_start=warm,
+        warm_first_request_seconds=round(warm_seconds, 3),
+        cache_hit=bool(result.cache_hit) if result is not None else False,
+    )
+
+
 def scenario_cache_collision(graph, feats, cost_models, seed, n):
     """Adversarial fingerprinting: every graph hashes to the same cache
     key.  The structural token must catch the collision and each graph
@@ -419,9 +729,13 @@ SCENARIOS = (
     "slow-tenant",
     "poison-graph",
     "worker-kill",
+    "hang-worker",
+    "shm-exhaustion",
     "cache-collision",
     "overload",
     "poison-input",
+    "corrupt-snapshot",
+    "restart-warm",
 )
 
 
@@ -464,6 +778,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "poison-graph": lambda: scenario_poison_graph(
             graph, feats, reference, cost_models, args.seed, n),
         "worker-kill": lambda: scenario_worker_kill(
+            graph, feats, reference, cost_models, args.seed, n),
+        "hang-worker": lambda: scenario_hang_worker(
+            graph, feats, reference, cost_models, args.seed, n),
+        "shm-exhaustion": lambda: scenario_shm_exhaustion(
+            graph, feats, reference, cost_models, args.seed, n),
+        "corrupt-snapshot": lambda: scenario_corrupt_snapshot(
+            graph, feats, reference, cost_models, args.seed, n),
+        "restart-warm": lambda: scenario_restart_warm(
             graph, feats, reference, cost_models, args.seed, n),
         "cache-collision": lambda: scenario_cache_collision(
             graph, feats, cost_models, args.seed, n),

@@ -82,8 +82,14 @@ from ..errors import (
 )
 from ..faults import FaultPlan, fault_injection
 from ..kernels.registry import kernel_wrapper
-from ..kernels.sharded import ShardedWorkerError
+from ..kernels.sharded import (
+    ShardedWorkerError,
+    drain_pool,
+    pool_health,
+    release_segments,
+)
 from ..models import build_layer
+from ..state import StateStore
 from .cache import PlanCache
 from .fingerprint import fingerprint_graph
 
@@ -244,6 +250,7 @@ class GraniiService:
         tenant_breaker_threshold: Optional[int] = None,
         tenant_breaker_cooldown: Optional[float] = None,
         fingerprint_fn=None,
+        state_dir: Optional[str] = None,
     ) -> None:
         if num_threads < 1:
             raise ValueError("num_threads must be >= 1")
@@ -272,6 +279,21 @@ class GraniiService:
             if plan_cache_size is not None
             else config.plan_cache_size()
         )
+        # Durable state: with a state dir (argument or REPRO_STATE_DIR),
+        # warm-start residuals, cost models, and plan-cache entries saved
+        # by a previous process — BEFORE the selector is built and before
+        # any fingerprint is computed, because fingerprint keys fold in
+        # the cost-model residual token and the selector would otherwise
+        # retrain models we already have on disk.
+        resolved_state_dir = (
+            state_dir if state_dir is not None else config.state_dir()
+        )
+        self._store: Optional[StateStore] = (
+            StateStore(resolved_state_dir) if resolved_state_dir else None
+        )
+        self.warm_start: Dict[str, object] = {}
+        if self._store is not None:
+            self.warm_start = self._restore_state()
         if fingerprint_fn is None:
             # default fingerprints fold in the cost-model version token:
             # an autotune refinement that can change strategy selection
@@ -295,7 +317,7 @@ class GraniiService:
             device=device,
             system=system,
             scale=scale,
-            cost_models=cost_models,
+            cost_models=self._cost_models,
             spmm_strategy=spmm_strategy,
             verify_plans=False,
             guarded=False,
@@ -325,11 +347,149 @@ class GraniiService:
             self._closed = True
         self._pool.shutdown(wait=wait)
 
+    def shutdown(self, save: bool = True) -> None:
+        """Graceful full stop, in dependency order: drain the request
+        threads, persist durable state (if configured), quiesce the
+        sharded worker pool, and only then release shared-memory
+        segments — so an in-flight shard can never observe an unlinked
+        segment."""
+        self.close(wait=True)
+        if save and self._store is not None:
+            try:
+                self.save_state()
+            except Exception:
+                # shutdown must complete even if the disk is gone
+                import logging
+
+                logging.getLogger(__name__).warning(
+                    "state save failed during shutdown", exc_info=True
+                )
+        drain_pool()
+        release_segments()
+
     def __enter__(self) -> "GraniiService":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def _restore_state(self) -> Dict[str, object]:
+        """Warm-start from the state store; every snapshot is optional
+        and a corrupt one costs a cold rebuild, never a crash.
+
+        Residuals land first: plan-cache fingerprints embed the
+        cost-model residual token, so seeded entries only hit if the
+        residual state they were selected under is live again.
+        """
+        from ..core.costmodel import import_runtime_residuals
+
+        summary: Dict[str, object] = {
+            "residuals": 0,
+            "cost_models": False,
+            "plan_cache": 0,
+        }
+        residuals = self._store.load("residuals")
+        if isinstance(residuals, dict):
+            summary["residuals"] = import_runtime_residuals(residuals)
+        if self._cost_models is None:
+            payload = self._store.load("cost_models")
+            if isinstance(payload, dict):
+                try:
+                    from ..core.costmodel import CostModelSet
+                    from ..learn import GradientBoostedTrees
+
+                    self._cost_models = CostModelSet(
+                        payload["device"],
+                        {
+                            name: GradientBoostedTrees.from_dict(data)
+                            for name, data in payload["models"].items()
+                        },
+                    )
+                    summary["cost_models"] = True
+                except Exception:
+                    import logging
+
+                    logging.getLogger(__name__).warning(
+                        "cost-model snapshot unusable; training cold",
+                        exc_info=True,
+                    )
+        entries = self._store.load("plan_cache")
+        if isinstance(entries, list):
+            try:
+                summary["plan_cache"] = self._cache.seed(
+                    (key, token, payload) for key, token, payload in entries
+                )
+            except Exception:
+                import logging
+
+                logging.getLogger(__name__).warning(
+                    "plan-cache snapshot unusable; starting cold",
+                    exc_info=True,
+                )
+        return summary
+
+    def save_state(self) -> Dict[str, str]:
+        """Atomically snapshot residuals, cost models, and the plan
+        cache to the state store; returns snapshot name -> path.
+
+        Requires a state directory (``state_dir=`` or
+        ``REPRO_STATE_DIR``).
+        """
+        if self._store is None:
+            raise RuntimeError(
+                "no state directory configured; pass state_dir= or set "
+                "REPRO_STATE_DIR"
+            )
+        from ..core.costmodel import export_runtime_residuals
+
+        paths = {
+            "residuals": self._store.save(
+                "residuals", export_runtime_residuals()
+            ),
+            "plan_cache": self._store.save(
+                "plan_cache", self._cache.export_entries()
+            ),
+        }
+        # only persist models that exist: never *train* during shutdown
+        models = self._cost_models or self._selector._cost_models
+        if models is not None:
+            paths["cost_models"] = self._store.save(
+                "cost_models",
+                {
+                    "device": models.device_name,
+                    "models": {
+                        name: m.to_dict()
+                        for name, m in models._models.items()
+                    },
+                },
+            )
+        return paths
+
+    def health(self) -> Dict[str, object]:
+        """Readiness probe: admission state, sharded-pool liveness,
+        tenant breaker states, and state-store status — cheap enough to
+        poll, and it never takes the pool lock."""
+        with self._lock:
+            closed = self._closed
+            tenants = len(self._tenants)
+            models = sorted(self._models)
+        pool = pool_health()
+        ready = (not closed) and not bool(pool.get("broken"))
+        return {
+            "ready": ready,
+            "closed": closed,
+            "models": models,
+            "tenants": tenants,
+            "pool": pool,
+            "tenant_breakers": self._tenant_breaker.snapshot(),
+            "state_store": (
+                self._store.status() if self._store is not None else None
+            ),
+            "warm_start": dict(self.warm_start),
+        }
 
     # ------------------------------------------------------------------
     # Model registry

@@ -1,0 +1,11 @@
+"""Durable, crash-safe snapshots of learned selection state.
+
+See :mod:`repro.state.store` for the envelope format and the
+quarantine-on-corruption policy; :class:`repro.serving.service.GraniiService`
+is the main client (``save_state()`` / warm-start under
+``REPRO_STATE_DIR``).
+"""
+
+from .store import SCHEMA_VERSION, StateStore, atomic_write_text, quarantine
+
+__all__ = ["SCHEMA_VERSION", "StateStore", "atomic_write_text", "quarantine"]

@@ -132,6 +132,43 @@ class TestServingKnobs:
         assert config.serve_retries() == 0
         assert config.plan_cache_size() == 16
 
+    def test_recovery_defaults(self, monkeypatch):
+        for name in (
+            "REPRO_SHARD_POLL_S", "REPRO_SHARD_HEARTBEAT_S",
+            "REPRO_SHARD_RESPAWNS", "REPRO_STATE_DIR",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert config.shard_poll_seconds() == pytest.approx(0.2)
+        assert config.shard_heartbeat_seconds() == pytest.approx(15.0)
+        assert config.shard_respawns() == 6
+        assert config.state_dir() is None
+
+    def test_recovery_accessors(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_POLL_S", "0.05")
+        monkeypatch.setenv("REPRO_SHARD_HEARTBEAT_S", "0.5")
+        monkeypatch.setenv("REPRO_SHARD_RESPAWNS", "0")
+        monkeypatch.setenv("REPRO_STATE_DIR", "/tmp/granii-state")
+        assert config.shard_poll_seconds() == pytest.approx(0.05)
+        assert config.shard_heartbeat_seconds() == pytest.approx(0.5)
+        assert config.shard_respawns() == 0  # 0 = fail-fast, no respawns
+        assert config.state_dir() == "/tmp/granii-state"
+
+    def test_recovery_knobs_validate_and_name_the_variable(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SHARD_POLL_S", "often")
+        with pytest.raises(GraniiConfigError, match="REPRO_SHARD_POLL_S"):
+            config.shard_poll_seconds()
+        monkeypatch.setenv("REPRO_SHARD_POLL_S", "0.001")
+        with pytest.raises(GraniiConfigError, match="REPRO_SHARD_POLL_S"):
+            config.shard_poll_seconds()
+        monkeypatch.setenv("REPRO_SHARD_HEARTBEAT_S", "0")
+        with pytest.raises(GraniiConfigError, match="REPRO_SHARD_HEARTBEAT_S"):
+            config.shard_heartbeat_seconds()
+        monkeypatch.setenv("REPRO_SHARD_RESPAWNS", "-1")
+        with pytest.raises(GraniiConfigError, match="REPRO_SHARD_RESPAWNS"):
+            config.shard_respawns()
+
     def test_serving_knobs_validate_and_name_the_variable(self, monkeypatch):
         monkeypatch.setenv("REPRO_SERVE_MAX_QUEUE", "0")
         with pytest.raises(GraniiConfigError, match="REPRO_SERVE_MAX_QUEUE"):

@@ -22,7 +22,13 @@ from repro.kernels import (
     sharded_pool,
     shutdown_pool,
 )
-from repro.kernels.sharded import kill_one_worker, request_worker_kill
+from repro.kernels.sharded import (
+    drain_pool,
+    kill_one_worker,
+    pool_health,
+    request_worker_hang,
+    request_worker_kill,
+)
 from repro.sparse import CSRMatrix
 
 
@@ -193,16 +199,45 @@ class TestPoolLifecycle:
         leaked = [f for f in os.listdir("/dev/shm") if f.startswith("psm_")]
         assert leaked == []
 
-    def test_worker_kill_raises_sharded_error(self):
+    def test_worker_kill_heals_via_resubmission(self):
         g = erdos_renyi(300, 8, seed=11)
         adj = _weighted(g.adj)
         x = np.random.default_rng(8).standard_normal((300, 8))
         out = gspmm_sharded(adj, x, num_workers=2)  # warm the pool
         request_worker_kill()
-        with pytest.raises(ShardedWorkerError):
+        # the kill fires mid-call; its shards are resubmitted to the
+        # survivors and the call completes bitwise-identically
+        healed = gspmm_sharded(adj, x, num_workers=2)
+        assert np.array_equal(healed, out)
+        health = pool_health()
+        assert health["running"] and health["restarts"] >= 1
+        assert not health["broken"]
+
+    def test_hung_worker_heals_via_heartbeat(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_HEARTBEAT_S", "0.5")
+        g = erdos_renyi(300, 8, seed=13)
+        adj = _weighted(g.adj)
+        x = np.random.default_rng(9).standard_normal((300, 4))
+        out = gspmm_sharded(adj, x, num_workers=2)
+        request_worker_hang()
+        # the SIGSTOPped worker is alive but silent: only heartbeat-based
+        # hung detection can recover this call
+        healed = gspmm_sharded(adj, x, num_workers=2)
+        assert np.array_equal(healed, out)
+        assert pool_health()["restarts"] >= 1
+
+    def test_respawn_budget_zero_restores_fail_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_RESPAWNS", "0")
+        g = erdos_renyi(200, 6, seed=14)
+        adj = _weighted(g.adj)
+        x = np.ones((200, 2))
+        gspmm_sharded(adj, x, num_workers=2)
+        request_worker_kill()
+        with pytest.raises(ShardedWorkerError, match="respawn"):
             gspmm_sharded(adj, x, num_workers=2)
         # the pool rebuilds transparently on the next call
-        assert np.array_equal(gspmm_sharded(adj, x, num_workers=2), out)
+        ref = gspmm(adj, x, strategy="row_segment")
+        assert np.array_equal(gspmm_sharded(adj, x, num_workers=2), ref)
 
     def test_kill_one_worker_direct(self):
         g = erdos_renyi(100, 4, seed=12)
@@ -210,18 +245,27 @@ class TestPoolLifecycle:
         x = np.ones((100, 3))
         gspmm_sharded(adj, x, num_workers=2)
         assert kill_one_worker()
-        # dead worker is detected and the next call still succeeds or the
-        # pool is rebuilt lazily; either way no hang and correct output
+        # the corpse is respawned in place on the next call — no teardown,
+        # no error, correct output
         ref = gspmm(adj, x, strategy="row_segment")
-        try:
-            out = gspmm_sharded(adj, x, num_workers=2)
-        except ShardedWorkerError:
-            out = gspmm_sharded(adj, x, num_workers=2)
+        out = gspmm_sharded(adj, x, num_workers=2)
         assert np.array_equal(out, ref)
+
+    def test_pool_health_reports_not_running_without_pool(self):
+        shutdown_pool()
+        assert pool_health() == {"running": False}
+
+    def test_drain_pool_idempotent(self):
+        g = erdos_renyi(100, 4, seed=15)
+        adj = _weighted(g.adj)
+        gspmm_sharded(adj, np.ones((100, 2)), num_workers=2)
+        drain_pool()
+        assert pool_health() == {"running": False}
+        drain_pool()  # draining an already-stopped pool is a no-op
 
 
 class TestEngineIntegration:
-    def test_guard_demotes_to_blocked_on_worker_death(self):
+    def test_guard_heals_worker_death_without_demotion(self):
         from repro.core.costmodel import get_cost_models
         from repro.core.runtime import GraniiEngine
         from repro.faults import FaultPlan, fault_injection
@@ -244,10 +288,13 @@ class TestEngineIntegration:
         plan = FaultPlan.from_string("spmm:kill_worker:1.0", seed=0)
         with fault_injection(plan):
             out = layer(g, feats)
-        assert any(
+        # the self-healing pool absorbs the worker death via resubmission:
+        # the sharded strategy keeps serving, no fallback-ladder demotion
+        assert not any(
             "spmm_sharded" in d.from_label and "@blocked" in d.to_label
             for d in selection.demotions
         )
+        assert pool_health().get("restarts", 0) >= 1
         assert np.allclose(
             np.asarray(getattr(out, "data", out)),
             np.asarray(getattr(baseline, "data", baseline)),
@@ -332,6 +379,65 @@ class TestLeakSweep:
         finally:
             shm.close()
             shm.unlink()
+
+    def test_sweep_racing_live_pool_spares_pooled_buffers(self):
+        from repro.kernels.sharded import sweep_leaked_segments
+
+        g = erdos_renyi(200, 6, seed=21)
+        adj = _weighted(g.adj)
+        x = np.ones((200, 4))
+        ref = gspmm(adj, x, strategy="row_segment")
+        with sharded_pool(2):
+            out = gspmm_sharded(adj, x, num_workers=2)
+            assert np.array_equal(out, ref)
+            live_before = live_segment_bytes()
+            assert live_before > 0  # graph cache + pooled buffers are live
+            # a concurrent process's startup sweep must not touch them:
+            # every live segment here is owned by this (alive) pid
+            assert sweep_leaked_segments() == []
+            assert live_segment_bytes() == live_before
+            # the pooled segments are still usable after the sweep
+            assert np.array_equal(gspmm_sharded(adj, x, num_workers=2), ref)
+        assert live_segment_bytes() == 0
+
+    def test_sweep_reclaims_everything_after_sigkill(self):
+        import signal
+        import subprocess
+        import sys
+
+        from repro.kernels.sharded import SEGMENT_PREFIX, sweep_leaked_segments
+
+        # a child warms a pool (graph segments + pooled buffers live),
+        # reports, then SIGKILLs itself: atexit cleanup never runs
+        code = (
+            "import os, numpy as np, signal\n"
+            "from repro.graphs import erdos_renyi\n"
+            "from repro.kernels.sharded import gspmm_sharded\n"
+            "g = erdos_renyi(200, 6, seed=21)\n"
+            "adj = g.adj.with_values(np.ones(g.adj.nnz))\n"
+            "gspmm_sharded(adj, np.ones((200, 4)), num_workers=2)\n"
+            "print('ready', flush=True)\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        assert "ready" in proc.stdout
+        sweep_leaked_segments()
+        leaked = [
+            n
+            for n in os.listdir("/dev/shm")
+            if n.startswith(SEGMENT_PREFIX) and f"-{os.getpid()}-" not in n
+        ]
+        assert leaked == []
+        assert live_segment_bytes() == 0
 
     def test_sweep_ignores_foreign_names(self, tmp_path):
         from repro.kernels.sharded import sweep_leaked_segments

@@ -1,0 +1,191 @@
+"""Crash-safe durable state (repro.state) and its costmodel clients.
+
+The contract under test: a save is atomic (a crash never leaves a
+half-written snapshot on the final name), a load verifies schema and
+checksum, and *any* damage costs a quarantine-and-cold-rebuild — never
+an exception at the call site.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import (
+    clear_cost_model_cache,
+    clear_runtime_residuals,
+    export_runtime_residuals,
+    get_cost_models,
+    import_runtime_residuals,
+    record_runtime_residual,
+)
+from repro.state import SCHEMA_VERSION, StateStore, atomic_write_text, quarantine
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "a" / "b.json"
+        atomic_write_text(path, "one")
+        assert path.read_text() == "one"
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+
+    def test_no_temp_droppings_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "x.json", "data")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["x.json"]
+
+    def test_failed_write_leaves_old_file_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "x.json"
+        atomic_write_text(path, "old")
+
+        def boom(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "new")
+        assert path.read_text() == "old"
+        # and the temp file was cleaned up
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["x.json"]
+
+
+class TestQuarantine:
+    def test_renames_with_counter(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("bad")
+        first = quarantine(path)
+        assert first.endswith("s.json.corrupt.0")
+        path.write_text("bad again")
+        second = quarantine(path)
+        assert second.endswith("s.json.corrupt.1")
+        assert not path.exists()
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert quarantine(tmp_path / "never-existed.json") is None
+
+
+class TestStateStore:
+    def test_json_round_trip(self, tmp_path):
+        store = StateStore(tmp_path)
+        store.save("residuals", {"cpu|spmm": 1.5})
+        assert store.load("residuals") == {"cpu|spmm": 1.5}
+        assert store.snapshots() == ["residuals"]
+
+    def test_non_json_payload_rides_as_pickle(self, tmp_path):
+        store = StateStore(tmp_path)
+        payload = {"arr": np.arange(4, dtype=np.float64)}
+        store.save("binary", payload)
+        envelope = json.loads((tmp_path / "binary.json").read_text())
+        assert envelope["encoding"] == "pickle"
+        restored = store.load("binary")
+        np.testing.assert_array_equal(restored["arr"], payload["arr"])
+
+    def test_missing_snapshot_loads_none_without_quarantine(self, tmp_path):
+        store = StateStore(tmp_path)
+        assert store.load("nothing") is None
+        assert store.quarantined() == []
+
+    def test_truncated_file_quarantined(self, tmp_path):
+        store = StateStore(tmp_path)
+        path = store.save("plan_cache", [["k", "t", 1]])
+        raw = open(path).read()
+        atomic_write_text(path, raw[: len(raw) // 2])
+        assert store.load("plan_cache") is None
+        assert store.quarantined() == ["plan_cache.json.corrupt.0"]
+        assert store.snapshots() == []
+        # a fresh save after quarantine works again
+        store.save("plan_cache", [])
+        assert store.load("plan_cache") == []
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        store = StateStore(tmp_path)
+        path = store.save("residuals", {"cpu|spmm": 2.0})
+        envelope = json.loads(open(path).read())
+        envelope["blob"] = json.dumps({"cpu|spmm": 9000.0})  # tampered
+        atomic_write_text(path, json.dumps(envelope))
+        assert store.load("residuals") is None
+        assert store.quarantined() == ["residuals.json.corrupt.0"]
+
+    def test_schema_version_mismatch_quarantined(self, tmp_path):
+        store = StateStore(tmp_path)
+        path = store.save("residuals", {})
+        envelope = json.loads(open(path).read())
+        envelope["schema"] = SCHEMA_VERSION + 1
+        atomic_write_text(path, json.dumps(envelope))
+        assert store.load("residuals") is None
+        assert store.quarantined() == ["residuals.json.corrupt.0"]
+
+    def test_invalid_names_rejected(self, tmp_path):
+        store = StateStore(tmp_path)
+        for bad in ("", "../escape", "a/b", ".hidden", "name.json"):
+            with pytest.raises(ValueError):
+                store.save(bad, {})
+
+    def test_status_reports_both_lists(self, tmp_path):
+        store = StateStore(tmp_path)
+        store.save("good", 1)
+        path = store.save("bad", 2)
+        atomic_write_text(path, "{")
+        store.load("bad")
+        status = store.status()
+        assert status["snapshots"] == ["good"]
+        assert status["quarantined"] == ["bad.json.corrupt.0"]
+
+
+class TestResidualRoundTrip:
+    def setup_method(self):
+        clear_runtime_residuals()
+
+    def teardown_method(self):
+        clear_runtime_residuals()
+
+    def test_export_import_round_trip(self):
+        record_runtime_residual("cpu", "spmm", 2.0, 1.0)
+        exported = export_runtime_residuals()
+        assert list(exported) == ["cpu|spmm"]
+        clear_runtime_residuals()
+        assert import_runtime_residuals(exported) == 1
+        assert export_runtime_residuals() == exported
+
+    def test_import_skips_malformed_entries(self):
+        restored = import_runtime_residuals({
+            "cpu|spmm": 1.25,
+            "no-separator": 2.0,      # malformed key
+            "cpu|gemm": float("nan"),  # non-finite factor
+            "cpu|sddmm": -1.0,         # non-positive factor
+        })
+        assert restored == 1
+        assert export_runtime_residuals() == {"cpu|spmm": 1.25}
+
+    def test_import_replaces_existing_store(self):
+        record_runtime_residual("cpu", "gemm", 3.0, 1.0)
+        import_runtime_residuals({"cpu|spmm": 1.1})
+        assert list(export_runtime_residuals()) == ["cpu|spmm"]
+
+
+class TestCostModelDiskCache:
+    def test_corrupt_cache_file_quarantined_and_retrained(self, tmp_path):
+        """A truncated on-disk cost-model cache (crash mid-write by an
+        older writer) must cost a retrain, not a JSONDecodeError."""
+        cache = tmp_path / "costmodels_cpu_small.json"
+        cache.write_text('{"device": "cpu", "models": {"spmm": {tru')
+        clear_cost_model_cache()
+        try:
+            models = get_cost_models("cpu", scale="small", cache_dir=tmp_path)
+            assert models.device_name == "cpu"
+            # the damaged file was moved aside and a fresh one written
+            assert (tmp_path / "costmodels_cpu_small.json.corrupt.0").exists()
+            reloaded = json.loads(cache.read_text())
+            assert "models" in reloaded
+        finally:
+            clear_cost_model_cache()
+
+    def test_cache_file_written_atomically(self, tmp_path):
+        clear_cost_model_cache()
+        try:
+            get_cost_models("cpu", scale="small", cache_dir=tmp_path)
+        finally:
+            clear_cost_model_cache()
+        leftovers = [p.name for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
