@@ -1,6 +1,6 @@
 """Static analysis for GRANII: plan verification and codebase linting.
 
-Two prongs, both purely static:
+Three prongs, all purely static:
 
 - :mod:`repro.analysis.planlint` — an abstract interpreter over the
   matrix IR and lowered plan steps.  It re-derives every step's result
@@ -15,12 +15,21 @@ Two prongs, both purely static:
   runtime invariants (``repro.config`` env discipline, ``WorkspaceArena``
   allocation discipline, structured ``GraniiError`` handling, provably
   disjoint writes in ``blocked_parallel`` closures).
+- :mod:`repro.analysis.conclint` — an *interprocedural* concurrency
+  linter: whole-program lock-acquisition-order graph (cycles, blocking
+  calls under locks, bare acquires), resource-lifetime proofs for
+  shared-memory segments/pooled buffers/executors over exception and
+  respawn edges, and a symbolic interval proof that sharded
+  ``out[r0:r1]`` writes are disjoint.  Its static lock graph is
+  validated dynamically by :mod:`repro.faults.racestress`.
 
 CLIs::
 
     python -m repro.analysis              # planlint over the model zoo
     python -m repro.analysis --self-test  # seeded-mutation self test
     python -m repro.analysis.lint src/repro
+    python -m repro.analysis.conclint src/repro
+    python -m repro.analysis.conclint --self-test
 """
 
 from .domains import AbstractMatrix, join_structure, structure_leq, structure_of

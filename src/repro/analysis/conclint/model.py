@@ -1,0 +1,335 @@
+"""Shared whole-program model for the concurrency linter.
+
+Parses every source file once and exposes the three indexes the passes
+share: the **lock table** (every ``threading.Lock``/``RLock``
+construction site, merged into one identity per ``module.Class.attr``),
+the **function index** (module functions, methods, and nested closures
+by qualified name), and a conservative **call resolver** (resolve-to-all
+by name with positional-arity filtering, so ``pool.submit(i, task)``
+reaches ``_WorkerPool.submit`` but not ``GraniiService.submit``).
+
+The model is deliberately an over-approximation: the passes built on it
+(:mod:`.locks`, :mod:`.lifetime`, :mod:`.disjoint`) only ever *miss*
+behavior when a call is dynamically dispatched through a value the
+resolver cannot see (callbacks passed as data are not traversed — a
+callable scheduled onto another thread does not run under the caller's
+locks, which is exactly the semantics we want for ``.submit``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "CONCLINT_RULES",
+    "Finding",
+    "FunctionInfo",
+    "LockInfo",
+    "Program",
+    "canonical_rel",
+]
+
+CONCLINT_RULES = (
+    "lock-order-cycle",
+    "lock-held-across-blocking-call",
+    "lock-acquire-no-release",
+    "lock-self-deadlock",
+    "resource-leak",
+    "shard-write-overlap",
+    "unjustified-waiver",
+)
+
+# Same grammar as repro.analysis.lint so one pragma dialect serves both
+# linters; conclint additionally demands trailing justification text.
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([a-z\-,\s]+)\)")
+
+# Attribute-call names never resolved to program functions: common
+# container/str/ndarray methods whose name collisions would otherwise
+# wire the call graph to unrelated code.
+_SKIP_METHODS = frozenset({
+    "add", "append", "astype", "clear", "close", "copy", "count",
+    "decode", "discard", "encode", "endswith", "extend", "fill",
+    "flush", "format", "get", "group", "index", "insert", "is_alive",
+    "is_set", "item", "items", "join", "keys", "lower", "match",
+    "mean", "move_to_end", "pop", "popitem", "put", "ravel", "read",
+    "remove", "reshape", "search", "set", "setdefault", "shutdown",
+    "sort", "split", "start", "startswith", "strip", "sum", "terminate",
+    "tolist", "update", "upper", "values", "wait", "write",
+})
+
+
+def canonical_rel(path: str) -> str:
+    """Normalize any path to a ``repro/...``-rooted relative form.
+
+    This is the shared identity between static construction sites and
+    the frames :mod:`repro.faults.racestress` observes at runtime.
+    """
+    norm = path.replace(os.sep, "/")
+    idx = norm.rfind("/repro/")
+    if idx >= 0:
+        return norm[idx + 1:]
+    if norm.startswith("repro/"):
+        return norm
+    return norm
+
+
+def module_name(path: str) -> str:
+    rel = canonical_rel(path)
+    if rel.endswith(".py"):
+        rel = rel[:-3]
+    return rel.replace("/", ".")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One conclint diagnostic; mirrors ``lint.Violation`` plus the
+    waiver's in-line justification text (empty when unwaived)."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    waived: bool = False
+    justification: str = ""
+
+    def describe(self) -> str:
+        suffix = " (waived)" if self.waived else ""
+        return f"{self.rule} {self.path}:{self.line} {self.message}{suffix}"
+
+
+@dataclass
+class LockInfo:
+    """One lock identity — possibly several construction sites (e.g.
+    ``SelectionReport._lock`` is built in both ``__post_init__`` and
+    ``__setstate__``) that are the same discipline-level lock."""
+
+    lock_id: str
+    kind: str  # "lock" | "rlock"
+    sites: List[Tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method/closure with enough context to resolve
+    ``self.<attr>`` locks and receiver-less calls."""
+
+    qualname: str
+    name: str
+    path: str
+    module: str
+    cls: Optional[str]
+    node: ast.AST
+    lineno: int
+
+    def positional_bounds(self) -> Tuple[int, float]:
+        """(min, max) positional args accepted, excluding ``self``."""
+        a = self.node.args
+        names = [arg.arg for arg in a.args]
+        skip = 1 if (self.cls and names and names[0] in ("self", "cls")) else 0
+        total = len(names) - skip + len(a.posonlyargs)
+        required = total - len(a.defaults)
+        upper: float = total if a.vararg is None else float("inf")
+        return max(required, 0), upper
+
+
+def receiver_text(node: ast.AST) -> str:
+    """Dotted receiver name for heuristics (``self._pool`` -> that)."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+class Program:
+    """Parsed sources plus the shared indexes (see module docstring)."""
+
+    def __init__(self, sources: Dict[str, str]) -> None:
+        self.sources: Dict[str, str] = {}
+        self.trees: Dict[str, ast.Module] = {}
+        self.parse_errors: List[Finding] = []
+        self.locks: Dict[str, LockInfo] = {}
+        self.functions: List[FunctionInfo] = []
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        self.by_node: Dict[ast.AST, FunctionInfo] = {}
+        self.classes: Dict[str, List[str]] = {}  # class name -> modules
+        # path -> line -> (rules, justification)
+        self.waivers: Dict[str, Dict[int, Tuple[Set[str], str]]] = {}
+        for path, source in sorted(sources.items()):
+            rel = canonical_rel(path)
+            self.sources[rel] = source
+            try:
+                tree = ast.parse(source, filename=rel)
+            except SyntaxError as exc:
+                self.parse_errors.append(
+                    Finding("syntax-error", rel, exc.lineno or 0, str(exc))
+                )
+                continue
+            self.trees[rel] = tree
+            self._index_file(rel, tree)
+            self._index_waivers(rel, source)
+
+    # ------------------------------------------------------------------
+    def _index_file(self, rel: str, tree: ast.Module) -> None:
+        mod = module_name(rel)
+        prog = self
+
+        class _Indexer(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.class_stack: List[str] = []
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                prog.classes.setdefault(node.name, []).append(mod)
+                self.class_stack.append(node.name)
+                self.generic_visit(node)
+                self.class_stack.pop()
+
+            def _function(self, node) -> None:
+                cls = self.class_stack[-1] if self.class_stack else None
+                fi = FunctionInfo(
+                    qualname=f"{mod}.{'.'.join(self.class_stack + [node.name])}"
+                    if self.class_stack else f"{mod}.{node.name}",
+                    name=node.name, path=rel, module=mod, cls=cls,
+                    node=node, lineno=node.lineno,
+                )
+                prog.functions.append(fi)
+                prog.by_name.setdefault(node.name, []).append(fi)
+                prog.by_node[node] = fi
+                self.generic_visit(node)
+
+            visit_FunctionDef = _function
+            visit_AsyncFunctionDef = _function
+
+            def visit_Assign(self, node: ast.Assign) -> None:
+                kind = _lock_ctor_kind(node.value)
+                if kind is not None:
+                    for target in node.targets:
+                        lock_id = None
+                        if isinstance(target, ast.Name):
+                            lock_id = f"{mod}.{target.id}"
+                        elif (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and self.class_stack
+                        ):
+                            lock_id = (
+                                f"{mod}.{self.class_stack[-1]}.{target.attr}"
+                            )
+                        if lock_id is not None:
+                            info = prog.locks.setdefault(
+                                lock_id, LockInfo(lock_id, kind)
+                            )
+                            info.sites.append((rel, node.lineno))
+                self.generic_visit(node)
+
+        _Indexer().visit(tree)
+
+    def _index_waivers(self, rel: str, source: str) -> None:
+        table: Dict[int, Tuple[Set[str], str]] = {}
+        for i, text in enumerate(source.splitlines(), start=1):
+            m = _ALLOW_RE.search(text)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                table[i] = (rules, text[m.end():].strip(" -—:#"))
+        self.waivers[rel] = table
+
+    # ------------------------------------------------------------------
+    # Lock resolution
+    # ------------------------------------------------------------------
+    def resolve_lock(
+        self, expr: ast.AST, fi: Optional[FunctionInfo]
+    ) -> Optional[LockInfo]:
+        """Map a ``with X:`` / ``X.acquire()`` receiver to a lock id."""
+        if isinstance(expr, ast.Name):
+            mod = fi.module if fi else ""
+            return self.locks.get(f"{mod}.{expr.id}")
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            if fi is not None and fi.cls is not None:
+                info = self.locks.get(f"{fi.module}.{fi.cls}.{expr.attr}")
+                if info is not None:
+                    return info
+            suffix = f".{expr.attr}"
+            hits = [l for lid, l in self.locks.items() if lid.endswith(suffix)]
+            if len(hits) == 1:
+                return hits[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+    def resolve_call(
+        self, call: ast.Call, caller: Optional[FunctionInfo]
+    ) -> List[FunctionInfo]:
+        func = call.func
+        npos = len(call.args)
+        nkw = len(call.keywords)
+        if isinstance(func, ast.Name):
+            name = func.id
+            cands = self.by_name.get(name, [])
+            if caller is not None:
+                same_mod = [c for c in cands if c.module == caller.module]
+                if same_mod:
+                    cands = same_mod
+            if not cands and name in self.classes:
+                cands = [
+                    c for c in self.by_name.get("__init__", [])
+                    if c.cls == name
+                ]
+            if len({c.module for c in cands}) > 1:
+                return []  # globally ambiguous free name: give up soundly
+            return _arity_filter(cands, npos, nkw)
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            if name in _SKIP_METHODS or name.startswith("__"):
+                return []
+            cands = [c for c in self.by_name.get(name, []) if c.cls]
+            return _arity_filter(cands, npos, nkw)
+        return []
+
+
+def _arity_filter(
+    cands: List[FunctionInfo], npos: int, nkw: int
+) -> List[FunctionInfo]:
+    out = []
+    for c in cands:
+        lo, hi = c.positional_bounds()
+        if npos <= hi and npos + nkw >= lo - _defaultable(c):
+            out.append(c)
+    return out
+
+
+def _defaultable(c: FunctionInfo) -> int:
+    a = c.node.args
+    return len(a.defaults) + len(a.kw_defaults)
+
+
+def _lock_ctor_kind(value: ast.AST) -> Optional[str]:
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = None
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "threading"
+    ):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    if name == "Lock":
+        return "lock"
+    if name == "RLock":
+        return "rlock"
+    return None

@@ -15,11 +15,13 @@ offending line or the line above; waivers are counted, not silent):
   ``except Exception/GraniiError`` whose body only swallows
   (``pass``/``...``/``continue``) inside guard/dispatch modules, where a
   swallowed failure silently breaks the fallback-ladder contract.
-- ``shared-write-in-parallel`` — inside a closure submitted to a thread
-  pool (``.map``/``.submit``) in ``repro/kernels/``, a subscript write
+- ``shared-write-in-parallel`` — inside a function submitted to a
+  thread pool (``.map``/``.submit``) in ``repro/kernels/``,
+  ``repro/serving/``, or ``repro/framework/mp.py``, a subscript write
   to a captured array whose index is not provably derived from the
-  closure's own work item (parameters/locals); such writes are not
-  provably disjoint across workers.
+  function's own work item (parameters/locals); such writes are not
+  provably disjoint across workers.  Both free functions and
+  ``self._method`` submit targets are resolved.
 - ``alloc-in-compiled`` — any NumPy allocator (``empty``/``zeros``/
   ``ones``/``full`` and their ``_like`` variants) inside
   ``repro/kernels/compiled.py``: compiled callables run on the guard's
@@ -130,6 +132,14 @@ class _FileLinter(ast.NodeVisitor):
             and not self.path.endswith("workspace.py")
         )
         self.in_config = self.path.endswith("repro/config.py")
+        # parallel-closure discipline applies wherever this repo submits
+        # work to executors: kernels, the serving runtime, and the
+        # multiprocess training harness
+        self.in_parallel_scope = (
+            self.in_kernels
+            or "repro/serving/" in self.path
+            or self.path.endswith("repro/framework/mp.py")
+        )
         self.in_compiled = self.path.endswith("repro/kernels/compiled.py")
         self.in_guard_path = any(h in self.path for h in _GUARD_PATH_HINTS)
         self._functions: Dict[str, ast.FunctionDef] = {
@@ -177,7 +187,7 @@ class _FileLinter(ast.NodeVisitor):
                     f"release it",
                 )
         if (
-            self.in_kernels
+            self.in_parallel_scope
             and isinstance(node.func, ast.Attribute)
             and node.func.attr in ("map", "submit")
             and node.args
@@ -208,9 +218,15 @@ class _FileLinter(ast.NodeVisitor):
     # -- shared-write-in-parallel --------------------------------------
     def _check_parallel_closure(self, call: ast.Call) -> None:
         target = call.args[0]
-        if not isinstance(target, ast.Name):
-            return
-        fn = self._functions.get(target.id)
+        fn: Optional[ast.FunctionDef] = None
+        if isinstance(target, ast.Name):
+            fn = self._functions.get(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            fn = self._functions.get(target.attr)
         if fn is None:
             return
         params = {a.arg for a in fn.args.args + fn.args.kwonlyargs}
@@ -331,11 +347,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     print(summary)
     if args.json:
+        waiver_counts: Dict[str, int] = {}
+        for v in waived:
+            waiver_counts[v.rule] = waiver_counts.get(v.rule, 0) + 1
         with open(args.json, "w") as fh:
             json.dump(
                 {
                     "violations": [v.describe() for v in active],
                     "waived": [v.describe() for v in waived],
+                    "waiver_counts": waiver_counts,
+                    "totals": {
+                        "active": len(active),
+                        "waived": len(waived),
+                    },
                 },
                 fh, indent=2,
             )

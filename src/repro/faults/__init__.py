@@ -59,6 +59,12 @@ Actions
 
 ``primitive`` may be ``*`` to match every kernel.  Probabilities are
 evaluated per dispatch from the plan's private RNG stream.
+
+Beyond seeded kernel faults, :mod:`repro.faults.racestress` is the
+concurrency-side sanitizer: it wraps the tree's locks to record
+happens-before edges under stress scenarios and asserts the observed
+lock-order graph is a subset of the static graph computed by
+:mod:`repro.analysis.conclint`.
 """
 
 from __future__ import annotations

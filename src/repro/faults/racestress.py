@@ -1,0 +1,405 @@
+"""Happens-before stress sanitizer for the concurrency linter.
+
+:mod:`repro.analysis.conclint` computes a *static* lock-acquisition-order
+graph by interprocedural analysis.  That graph is an over-approximation
+— it may contain edges no execution takes — but it must never be an
+*under*-approximation: every lock-order edge a real run exhibits has to
+appear in the static graph, or the linter's cycle check is unsound.
+
+This module closes the loop at test time.  It monkeypatches the
+``threading.Lock``/``threading.RLock`` factories with caller-site-aware
+versions: a lock constructed at a source site the static pass indexed
+(see :meth:`LockGraph.site_index`) is wrapped so every acquisition
+records a happens-before edge ``held -> acquired`` into a
+:class:`RaceMonitor`; locks constructed anywhere else (stdlib internals,
+test scaffolding) stay untraced.  Module-level locks that already exist
+at import time (``repro.kernels.sharded._POOL_LOCK``) are swapped by
+attribute patching for the duration of the run.
+
+After driving the stress scenarios — plan-cache eviction hammering, a
+small serving workload, and sharded SpMM with pool drain — the observed
+edge set is asserted to be a **subset** of the static graph: zero
+unexplained edges.  Lock identity is the static table's, keyed by
+``(construction file, line)``, so the comparison never depends on
+hardcoded line numbers.
+
+Run via ``python -m repro.faults.racestress --quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "RaceMonitor",
+    "RaceReport",
+    "SCENARIOS",
+    "run_scenarios",
+    "main",
+]
+
+# Real factories, captured before any patching.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+_THIS_FILE = __file__
+
+
+class RaceMonitor:
+    """Per-thread held-lock stacks plus the global observed-edge set.
+
+    Reentrant re-acquisition (an id already on this thread's stack) is
+    depth-counted and records no edge — holding a lock is not ordered
+    against itself.  The first acquisition site seen for each edge is
+    kept as its witness.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._mu = _REAL_LOCK()
+        self.edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        self.acquisitions = 0
+        self.unmapped: Set[Tuple[str, int]] = set()
+
+    def _stack(self) -> List[List[object]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def note_unmapped(self, rel: str, lineno: int) -> None:
+        with self._mu:
+            self.unmapped.add((rel, lineno))
+
+    def on_acquire(self, lock_id: str, site: Tuple[str, int]) -> None:
+        stack = self._stack()
+        for held in stack:
+            if held[0] == lock_id:
+                held[1] += 1  # reentrant: no ordering edge
+                return
+        new_edges = [(str(held[0]), lock_id) for held in stack]
+        stack.append([lock_id, 1])
+        with self._mu:
+            self.acquisitions += 1
+            for key in new_edges:
+                self.edges.setdefault(key, site)
+
+    def on_release(self, lock_id: str) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] == lock_id:
+                stack[i][1] -= 1
+                if stack[i][1] == 0:
+                    del stack[i]
+                return
+
+    def snapshot_edges(self) -> Set[Tuple[str, str]]:
+        with self._mu:
+            return set(self.edges)
+
+
+class _TracedLock:
+    """Lock wrapper reporting acquire/release to a :class:`RaceMonitor`.
+
+    Mirrors the ``threading.Lock``/``RLock`` surface the repro tree
+    uses: context manager, ``acquire(blocking, timeout)``, ``release``.
+    """
+
+    def __init__(self, monitor: RaceMonitor, lock_id: str,
+                 reentrant: bool) -> None:
+        self._inner = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        self._monitor = monitor
+        self._lock_id = lock_id
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._monitor.on_acquire(self._lock_id, _caller_site())
+        return got
+
+    def release(self) -> None:
+        self._monitor.on_release(self._lock_id)
+        self._inner.release()
+
+    def __enter__(self) -> "_TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    def locked(self) -> bool:
+        probe = getattr(self._inner, "locked", None)
+        return bool(probe()) if probe is not None else False
+
+
+def _caller_site() -> Tuple[str, int]:
+    """(file, line) of the nearest frame outside this module."""
+    from repro.analysis.conclint.model import canonical_rel
+
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_code.co_filename == _THIS_FILE:
+        frame = frame.f_back
+    if frame is None:
+        return ("<unknown>", 0)
+    return (canonical_rel(frame.f_code.co_filename), frame.f_lineno)
+
+
+class _Patcher:
+    """Install/remove the traced lock factories and the module-level
+    ``_POOL_LOCK`` swap.  Always restores on exit, even if a scenario
+    raises."""
+
+    def __init__(self, monitor: RaceMonitor,
+                 site_index: Dict[Tuple[str, int], str]) -> None:
+        self._monitor = monitor
+        self._site_index = site_index
+        self._saved_pool_lock = None
+
+    def _factory(self, reentrant: bool) -> Callable[[], object]:
+        monitor = self._monitor
+        site_index = self._site_index
+        real = _REAL_RLOCK if reentrant else _REAL_LOCK
+
+        def make_lock():
+            from repro.analysis.conclint.model import canonical_rel
+
+            frame = sys._getframe(1)
+            rel = canonical_rel(frame.f_code.co_filename)
+            lock_id = site_index.get((rel, frame.f_lineno))
+            if lock_id is None:
+                if rel.startswith("repro/"):
+                    monitor.note_unmapped(rel, frame.f_lineno)
+                return real()
+            return _TracedLock(monitor, lock_id, reentrant)
+
+        return make_lock
+
+    def __enter__(self) -> "_Patcher":
+        import repro.kernels.sharded as sharded
+
+        threading.Lock = self._factory(False)
+        threading.RLock = self._factory(True)
+        self._saved_pool_lock = sharded._POOL_LOCK
+        sharded._POOL_LOCK = _TracedLock(
+            self._monitor, "repro.kernels.sharded._POOL_LOCK", reentrant=True
+        )
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        import repro.kernels.sharded as sharded
+
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+        if self._saved_pool_lock is not None:
+            sharded._POOL_LOCK = self._saved_pool_lock
+        return False
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def _scenario_cache(quick: bool) -> None:
+    """Hammer ``PlanCache`` eviction against single-flight: capacity 2,
+    8 threads cycling 6 keys (one with an alternating token to force
+    collisions).  Asserts no wrong-plan serve and no stuck waiter."""
+    from repro.serving import PlanCache
+
+    cache = PlanCache(2)
+    keys = [f"key-{i}" for i in range(6)]
+    iters = 40 if quick else 200
+    errors: List[str] = []
+
+    def worker(seed: int) -> None:
+        for j in range(iters):
+            key = keys[(seed + j) % len(keys)]
+            # key-0 alternates tokens so eviction races a collision path
+            token = f"tok-{key}" if key != "key-0" else f"tok-{j % 2}"
+            payload, _hit = cache.get_or_compute(
+                key, token, lambda k=key, t=token: ("plan", k, t)
+            )
+            if payload[1] != key or payload[2] != token:
+                errors.append(f"wrong plan for {key}/{token}: {payload!r}")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    stuck = [t for t in threads if t.is_alive()]
+    if stuck:
+        raise AssertionError(f"{len(stuck)} cache waiter(s) stuck")
+    if errors:
+        raise AssertionError(errors[0])
+
+
+def _scenario_serving(quick: bool) -> None:
+    """Small serving workload: two graphs, mixed tenants, stats probe,
+    then shutdown — exercises the select/guard/cache lock nests."""
+    import numpy as np
+
+    from repro.core.costmodel import get_cost_models
+    from repro.graphs.generators import erdos_renyi
+    from repro.serving import GraniiService, ServeRequest
+
+    cost_models = get_cost_models("h100", scale="small")
+    svc = GraniiService(
+        device="h100", scale="small", cost_models=cost_models,
+        num_threads=2, plan_cache_size=4, state_dir="",
+    )
+    try:
+        svc.register_model("gcn", 8, 4)
+        graphs = [erdos_renyi(60, 4.0, seed=3), erdos_renyi(48, 4.0, seed=9)]
+        n = 4 if quick else 12
+        futures = []
+        for i in range(n):
+            graph = graphs[i % 2]
+            feats = np.random.default_rng(i).standard_normal(
+                (graph.num_nodes, 8)
+            )
+            futures.append(svc.submit(ServeRequest(
+                tenant=f"tenant-{i % 3}", model="gcn",
+                graph=graph, feats=feats,
+            )))
+        for fut in futures:
+            fut.result(timeout=300.0)
+        svc.stats()
+    finally:
+        svc.shutdown(save=False)
+
+
+def _scenario_sharded(quick: bool) -> None:
+    """Process-parallel sharded SpMM plus pool drain — exercises the
+    ``_POOL_LOCK`` region including its reentrant drain path."""
+    import numpy as np
+
+    from repro.graphs import erdos_renyi
+    from repro.kernels.sharded import drain_pool, gspmm_sharded
+
+    graph = erdos_renyi(80, 4.0, seed=5)
+    x = np.random.default_rng(0).standard_normal((graph.num_nodes, 4))
+    for _ in range(1 if quick else 3):
+        gspmm_sharded(graph.adj, x, num_workers=2)
+    drain_pool()
+
+
+SCENARIOS: Dict[str, Callable[[bool], None]] = {
+    "cache": _scenario_cache,
+    "serving": _scenario_serving,
+    "sharded": _scenario_sharded,
+}
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclass
+class RaceReport:
+    """Outcome of one stress run across scenarios."""
+
+    static_edges: Set[Tuple[str, str]]
+    observed: Dict[Tuple[str, str], Tuple[str, int]]
+    per_scenario: Dict[str, List[Tuple[str, str]]]
+    acquisitions: int
+    unmapped: Set[Tuple[str, int]] = field(default_factory=set)
+
+    @property
+    def unexplained(self) -> List[Tuple[str, str]]:
+        return sorted(e for e in self.observed if e not in self.static_edges)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unexplained
+
+    def to_dict(self) -> dict:
+        return {
+            "static_edges": sorted(f"{a} -> {b}" for a, b in self.static_edges),
+            "observed_edges": {
+                f"{a} -> {b}": f"{site[0]}:{site[1]}"
+                for (a, b), site in sorted(self.observed.items())
+            },
+            "per_scenario": {
+                name: sorted(f"{a} -> {b}" for a, b in edges)
+                for name, edges in self.per_scenario.items()
+            },
+            "unexplained": [f"{a} -> {b}" for a, b in self.unexplained],
+            "acquisitions": self.acquisitions,
+            "unmapped_sites": sorted(
+                f"{rel}:{line}" for rel, line in self.unmapped
+            ),
+        }
+
+
+def run_scenarios(
+    names: Optional[List[str]] = None, quick: bool = True
+) -> RaceReport:
+    """Patch, drive the named scenarios under one monitor, compare
+    observed lock-order edges against the static graph."""
+    from repro.analysis.conclint import static_lock_graph
+
+    graph = static_lock_graph()
+    static_edges = set(graph.edges)
+    site_index = graph.site_index()
+    monitor = RaceMonitor()
+    per_scenario: Dict[str, List[Tuple[str, str]]] = {}
+    with _Patcher(monitor, site_index):
+        for name in names or sorted(SCENARIOS):
+            before = monitor.snapshot_edges()
+            SCENARIOS[name](quick)
+            per_scenario[name] = sorted(monitor.snapshot_edges() - before)
+    return RaceReport(
+        static_edges=static_edges,
+        observed=dict(monitor.edges),
+        per_scenario=per_scenario,
+        acquisitions=monitor.acquisitions,
+        unmapped=set(monitor.unmapped),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.racestress",
+        description="Assert observed lock-order edges are a subset of "
+        "the static conclint graph",
+    )
+    parser.add_argument(
+        "--scenarios", default=",".join(sorted(SCENARIOS)),
+        help="comma-separated subset of: " + ", ".join(sorted(SCENARIOS)),
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller thread counts / iteration budgets")
+    parser.add_argument("--json", default="", help="write the report here")
+    args = parser.parse_args(argv)
+
+    names = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    unknown = [s for s in names if s not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown scenario(s): {', '.join(unknown)}")
+
+    report = run_scenarios(names, quick=args.quick)
+    for (src, dst), site in sorted(report.observed.items()):
+        status = "ok" if (src, dst) in report.static_edges else "UNEXPLAINED"
+        print(f"  edge {src} -> {dst}  [{site[0]}:{site[1]}]  {status}")
+    print(
+        f"racestress: {report.acquisitions} traced acquisition(s), "
+        f"{len(report.observed)} distinct edge(s), "
+        f"{len(report.unexplained)} unexplained"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

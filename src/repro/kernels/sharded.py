@@ -420,8 +420,10 @@ def _release_entry(entry: Dict[str, shared_memory.SharedMemory]) -> None:
         try:
             shm.close()
             shm.unlink()
-        except FileNotFoundError:
-            pass
+        except OSError:
+            # a respawn/atexit race may have unlinked it already: a
+            # double release must log-and-continue, never raise
+            logger.debug("segment %s already released", shm.name)
 
 
 def _graph_segments(adj: CSRMatrix) -> Dict[str, shared_memory.SharedMemory]:
@@ -448,8 +450,10 @@ def _graph_segments(adj: CSRMatrix) -> Dict[str, shared_memory.SharedMemory]:
                 continue
             arr = np.ascontiguousarray(arr)
             shm = _create_segment(arr.nbytes)
-            _fill_segment(shm, arr)
+            # register before filling: if the fill faults, the handler
+            # below can only release segments the entry already owns
             entry[role] = shm
+            _fill_segment(shm, arr)
     except Exception:
         _release_entry(entry)  # allocation died mid-graph: no half entries
         raise
@@ -490,8 +494,9 @@ def _discard_buffer(shm: shared_memory.SharedMemory) -> None:
     try:
         shm.close()
         shm.unlink()
-    except FileNotFoundError:
-        pass
+    except OSError:
+        # idempotent under the worker-respawn/atexit double-release race
+        logger.debug("segment %s already released", shm.name)
 
 
 def live_segment_bytes() -> int:
@@ -771,6 +776,9 @@ class _WorkerPool:
         }
 
     def shutdown(self) -> None:
+        if getattr(self, "_shutdown_done", False):
+            return  # respawn/atexit paths can race a second shutdown
+        self._shutdown_done = True
         for task_queue, proc in zip(self.task_queues, self.processes):
             try:
                 if proc.is_alive():
@@ -797,8 +805,8 @@ class _WorkerPool:
         try:
             self.hb_shm.close()
             self.hb_shm.unlink()
-        except FileNotFoundError:
-            pass
+        except OSError:
+            logger.debug("heartbeat segment already released")
 
 
 _POOL: Optional[_WorkerPool] = None
@@ -839,6 +847,7 @@ def shutdown_pool() -> None:
     _KILL_REQUESTED = False
     _HANG_REQUESTED = False
     _SHM_EXHAUST_REQUESTED = False
+    # lint: allow(lock-held-across-blocking-call) joining workers is the point
     with _POOL_LOCK:
         if _POOL is not None:
             _POOL.shutdown()
@@ -854,6 +863,7 @@ def drain_pool() -> None:
     this before :func:`release_segments` so no worker can ever touch an
     unlinked segment.
     """
+    # lint: allow(lock-held-across-blocking-call) taking the lock is the wait
     with _POOL_LOCK:
         shutdown_pool()
 
@@ -915,6 +925,7 @@ def sharded_pool(num_workers: Optional[int] = None):
     released) on exit.  Tests and short-lived drivers use this to
     guarantee a clean ``/dev/shm``; long-lived engines rely on the warm
     module pool plus the atexit hook instead."""
+    # lint: allow(lock-held-across-blocking-call) scoped pool teardown waits
     with _POOL_LOCK:
         pool = _get_pool(num_workers or default_num_workers())
         try:
@@ -989,6 +1000,7 @@ def gspmm_sharded(
     bounds = plan_row_shards(adj.indptr, num_shards)
     _check_shard_bounds(bounds, n)
 
+    # lint: allow(lock-held-across-blocking-call) collect() must own the pool
     with _POOL_LOCK:
         pool = _get_pool(num_workers)
         if _KILL_REQUESTED:

@@ -134,6 +134,40 @@ class TestPlanCache:
         # the evicted payload is still a live, usable object
         assert held["plan"] == 0
 
+    def test_eviction_vs_single_flight_hammer(self):
+        """Eviction racing single-flight: capacity 2, eight threads over
+        six keys with one colliding key.  Every serve must match its own
+        key and token (never the wrong plan) and every waiter must
+        finish (never stuck on an evicted leader's event)."""
+        cache = PlanCache(2)
+        keys = [f"key-{i}" for i in range(6)]
+        errors = []
+
+        def worker(seed):
+            for j in range(120):
+                key = keys[(seed + j) % len(keys)]
+                # one key alternates tokens to drive the collision path
+                token = f"tok-{key}" if key != "key-0" else f"tok-{j % 2}"
+                payload, _hit = cache.get_or_compute(
+                    key, token, lambda k=key, t=token: ("plan", k, t)
+                )
+                if payload[1] != key or payload[2] != token:
+                    errors.append((key, token, payload))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not [t for t in threads if t.is_alive()], "stuck waiter"
+        assert not errors, f"wrong-plan serve: {errors[0]}"
+        stats = cache.stats()
+        assert stats["evictions"] > 0, "hammer never drove an eviction"
+        assert len(cache) <= 2
+
     def test_single_flight_computes_once(self):
         cache = PlanCache(4)
         calls = []

@@ -450,3 +450,55 @@ class TestLeakSweep:
         from repro.kernels.sharded import sweep_leaked_segments
 
         assert sweep_leaked_segments(shm_dir="/nonexistent-shm-dir") == []
+
+
+class TestIdempotentCleanup:
+    """Double-release under the worker-respawn/atexit race: every
+    cleanup path is log-and-continue, never a raise (PR-10 regression)."""
+
+    def test_discard_buffer_double_release_never_raises(self):
+        from multiprocessing import shared_memory
+
+        from repro.kernels.sharded import _discard_buffer
+
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        _discard_buffer(shm)
+        # second discard sees a name that is already gone
+        _discard_buffer(shm)
+
+    def test_release_entry_double_release_never_raises(self):
+        from multiprocessing import shared_memory
+
+        from repro.kernels.sharded import _release_entry
+
+        entry = {
+            "a": shared_memory.SharedMemory(create=True, size=64),
+            "b": shared_memory.SharedMemory(create=True, size=64),
+        }
+        _release_entry(dict(entry))
+        # atexit sweep racing a respawn teardown replays the release
+        _release_entry(entry)
+
+    def test_worker_pool_shutdown_idempotent(self):
+        g = erdos_renyi(80, 4, seed=31)
+        adj = _weighted(g.adj)
+        gspmm_sharded(adj, np.ones((80, 2)), num_workers=2)
+        from repro.kernels import sharded as mod
+
+        pool = mod._POOL
+        assert pool is not None
+        shutdown_pool()
+        # direct second shutdown on the same pool object is a no-op
+        pool.shutdown()
+        shutdown_pool()
+        assert pool_health() == {"running": False}
+
+    def test_pool_usable_after_double_teardown(self):
+        g = erdos_renyi(80, 4, seed=32)
+        adj = _weighted(g.adj)
+        x = np.ones((80, 2))
+        ref = gspmm(adj, x, strategy="row_segment")
+        gspmm_sharded(adj, x, num_workers=2)
+        drain_pool()
+        drain_pool()
+        assert np.array_equal(gspmm_sharded(adj, x, num_workers=2), ref)
